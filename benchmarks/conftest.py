@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate each paper table/figure at reduced scale (two
+short traces, a few thousand branches) so the full suite runs in
+minutes; the committed full-scale numbers live in EXPERIMENTS.md and
+are produced by ``python -m repro.experiments.<name>``.
+"""
+
+import argparse
+
+import pytest
+
+BENCH_TRACES = ["FP1", "INT1"]
+BENCH_BRANCHES = 2_000
+
+
+def bench_args(extra=None):
+    """The tiny-scale CLI namespace every figure bench runs with."""
+    from repro.experiments import common
+
+    parser = common.make_parser("bench")
+    argv = [
+        "--branches", str(BENCH_BRANCHES),
+        "--traces", *BENCH_TRACES,
+        "--cache-dir", "",
+    ]
+    if extra:
+        argv += extra
+    return parser.parse_args(argv)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """One 6000-branch trace shared by predictor/ablation benches."""
+    from repro.workloads import build_trace
+
+    return build_trace("SPEC03", 6_000)
+
+
+@pytest.fixture(scope="session")
+def tiny_args():
+    return bench_args()

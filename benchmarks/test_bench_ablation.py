@@ -1,0 +1,77 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench measures the simulation of one design variant on a shared
+trace and reports MPKI via benchmark extra info, so variants can be
+compared across runs:
+
+* BST counter style — deterministic 2-bit vs probabilistic 3-bit,
+* positional history (RS.P in the index hash) on/off,
+* folded history in the index hash on/off,
+* the unfiltered recent-history window ``ht`` (0 / 8 / 16),
+* segmented vs effectively-monolithic recency stacks for BF-TAGE.
+"""
+
+import pytest
+
+from repro.core.bfneural import BFNeural, BFNeuralConfig
+from repro.core.bftage import BFTage, BFTageConfig
+from repro.sim import simulate
+
+
+def run_and_report(benchmark, factory, trace):
+    result = benchmark.pedantic(
+        lambda: simulate(factory(), trace), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mpki"] = round(result.mpki, 3)
+    return result
+
+
+@pytest.mark.parametrize("probabilistic", [False, True], ids=["bst-2bit", "bst-3bit-prob"])
+def test_bst_counters(benchmark, small_trace, probabilistic):
+    result = run_and_report(
+        benchmark,
+        lambda: BFNeural(BFNeuralConfig(probabilistic_bst=probabilistic)),
+        small_trace,
+    )
+    assert result.misprediction_rate < 0.25
+
+
+@pytest.mark.parametrize("positional", [True, False], ids=["pos-hist", "no-pos-hist"])
+def test_positional_history(benchmark, small_trace, positional):
+    result = run_and_report(
+        benchmark,
+        lambda: BFNeural(BFNeuralConfig(use_positional=positional)),
+        small_trace,
+    )
+    assert result.misprediction_rate < 0.25
+
+
+@pytest.mark.parametrize("folded", [True, False], ids=["fhist", "no-fhist"])
+def test_folded_history(benchmark, small_trace, folded):
+    result = run_and_report(
+        benchmark,
+        lambda: BFNeural(BFNeuralConfig(use_folded_hist=folded)),
+        small_trace,
+    )
+    assert result.misprediction_rate < 0.25
+
+
+@pytest.mark.parametrize("ht", [0, 8, 16], ids=["ht0", "ht8", "ht16"])
+def test_unfiltered_window(benchmark, small_trace, ht):
+    # ht=0 disables the conventional component entirely.
+    config = BFNeuralConfig(ht=max(1, ht)) if ht else BFNeuralConfig(ht=1, wm_rows=2)
+    result = run_and_report(benchmark, lambda: BFNeural(config), small_trace)
+    assert result.misprediction_rate < 0.3
+
+
+@pytest.mark.parametrize(
+    "rs_size,label",
+    [(8, "segmented-rs8"), (64, "near-monolithic-rs64")],
+    ids=["segmented", "monolithic-ish"],
+)
+def test_segmentation_granularity(benchmark, small_trace, rs_size, label):
+    """Bigger per-segment stacks approximate a monolithic RS; the paper
+    argues cross-correlation makes the small segmented version enough."""
+    config = BFTageConfig(rs_size=rs_size)
+    result = run_and_report(benchmark, lambda: BFTage(config), small_trace)
+    assert result.misprediction_rate < 0.3

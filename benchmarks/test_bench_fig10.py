@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 10 (MPKI vs number of tagged tables).
+
+The full 4..10 sweep is expensive; the bench sweeps {4, 7} which still
+exercises both predictor families at two storage points.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig10_tables
+
+
+def test_fig10_tables(benchmark, monkeypatch):
+    monkeypatch.setattr(fig10_tables, "TABLE_COUNTS", [4, 7])
+    args = bench_args()
+    report = benchmark.pedantic(fig10_tables.run, args=(args,), rounds=1, iterations=1)
+    assert "ISL-TAGE" in report and "BF-ISL-TAGE" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 11 (relative improvement vs TAGE-10)."""
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig11_relative
+
+
+def test_fig11_relative(benchmark):
+    args = bench_args()
+    report = benchmark.pedantic(fig11_relative.run, args=(args,), rounds=1, iterations=1)
+    assert "TAGE-15 impr %" in report
+    assert "BF-TAGE-10 impr %" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 12 (per-table branch-hit histograms)."""
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig12_hits
+
+
+def test_fig12_hits(benchmark):
+    args = bench_args()
+    report = benchmark.pedantic(fig12_hits.run, args=(args,), rounds=1, iterations=1)
+    assert "mean provider table" in report
+    assert "TAGE-15 %hits" in report

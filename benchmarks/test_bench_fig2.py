@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 2 (biased-branch fractions)."""
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig2_bias
+
+
+def test_fig2_bias(benchmark):
+    args = bench_args()
+    report = benchmark(fig2_bias.run, args)
+    assert "% biased dyn" in report
+    assert "FP1" in report and "INT1" in report

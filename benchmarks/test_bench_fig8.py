@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (OH-SNAP vs TAGE vs BF-Neural MPKI)."""
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig8_mpki
+
+
+def test_fig8_mpki(benchmark):
+    args = bench_args()
+    report = benchmark.pedantic(fig8_mpki.run, args=(args,), rounds=1, iterations=1)
+    assert "OH-SNAP" in report and "BF-Neural" in report and "TAGE" in report
+    assert "Avg." in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (BF-Neural optimization breakdown)."""
+
+from benchmarks.conftest import bench_args
+from repro.experiments import fig9_ablation
+
+
+def test_fig9_ablation(benchmark):
+    args = bench_args()
+    report = benchmark.pedantic(fig9_ablation.run, args=(args,), rounds=1, iterations=1)
+    assert "stage0" in report and "stage3" in report
+    assert "average MPKI" in report

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (BF-TAGE storage budget)."""
+
+from repro.experiments import table1_storage
+
+
+def test_table1_storage(benchmark):
+    report = benchmark(table1_storage.run, None)
+    assert "Total" in report
+    assert "51100" in report  # the paper's reference total appears

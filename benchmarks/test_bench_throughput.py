@@ -1,0 +1,33 @@
+"""Predictor throughput benches: branches simulated per second.
+
+Not a paper artifact, but the number that governs how large a suite the
+pure-Python framework can evaluate; regressions here make the figure
+campaigns impractical.
+"""
+
+import pytest
+
+from repro.core import BFTage, BFTageConfig, bf_neural_64kb
+from repro.predictors import Bimodal, GShare, ISLTage, ScaledNeural, Tage, TageConfig
+from repro.sim import simulate
+
+CONTENDERS = {
+    "bimodal": Bimodal,
+    "gshare": GShare,
+    "oh-snap": ScaledNeural,
+    "tage10": lambda: Tage(TageConfig.for_tables(10)),
+    "isl-tage10": lambda: ISLTage(TageConfig.for_tables(10)),
+    "bf-neural": bf_neural_64kb,
+    "bf-tage10": lambda: BFTage(BFTageConfig.for_tables(10)),
+}
+
+
+@pytest.mark.parametrize("name", list(CONTENDERS), ids=list(CONTENDERS))
+def test_predictor_throughput(benchmark, small_trace, name):
+    factory = CONTENDERS[name]
+    result = benchmark.pedantic(
+        lambda: simulate(factory(), small_trace), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mpki"] = round(result.mpki, 3)
+    benchmark.extra_info["branches"] = len(small_trace)
+    assert result.branches == len(small_trace)

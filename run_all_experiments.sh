@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerate every paper table/figure. Results land in results/, sim
+# results are cached in .bfbp-cache/ so re-runs are incremental.
+set -x
+cd /root/repo
+python3 -m repro.experiments.table1_storage --output results/table1.txt > /dev/null 2>&1
+python3 -m repro.experiments.fig2_bias     --output results/fig2.txt  > /dev/null 2>&1
+python3 -m repro.experiments.fig12_hits    --verbose --output results/fig12.txt
+python3 -m repro.experiments.fig10_tables  --verbose --output results/fig10.txt
+python3 -m repro.experiments.fig11_relative --verbose --output results/fig11.txt
+python3 -m repro.experiments.fig8_mpki     --verbose --output results/fig8.txt
+python3 -m repro.experiments.fig9_ablation --verbose --output results/fig9.txt
+python3 -m repro.experiments.energy_analysis --output results/energy.txt > /dev/null 2>&1
+python3 -m repro.experiments.profile_assisted --output results/profile_assisted.txt > /dev/null 2>&1
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Splice headline numbers from results/*.txt into EXPERIMENTS.md."""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+
+def grab(name, pattern):
+    path = RESULTS / name
+    if not path.exists():
+        return None
+    match = re.search(pattern, path.read_text())
+    return match.group(0) if match else None
+
+
+def main():
+    md = (ROOT / "EXPERIMENTS.md").read_text()
+    fills = {
+        "RESULT_FIG2": grab("fig2.txt", r"average biased dynamic fraction: [\d.]+%"),
+        "RESULT_FIG8": grab("fig8.txt", r"BF-Neural vs OH-SNAP: [+\-][\d.]+% MPKI improvement"),
+        "RESULT_FIG9": (grab("fig9.txt", r"average MPKI: [\d. >-]+") or "").replace("average MPKI: ", ""),
+        "RESULT_FIG10": grab("fig10.txt", r"BF-ISL-TAGE better at table counts: [^(\n]+"),
+        "RESULT_FIG11": grab("fig11.txt", r"tracks TAGE-15[^\n]*\n?[^\n]*of them"),
+        "RESULT_FIG12": grab("fig12.txt", r"lower mean table on \d+/\d+ traces"),
+    }
+    for key, value in fills.items():
+        if value:
+            md = md.replace(key, value.strip())
+        else:
+            md = md.replace(key, "(see results/)")
+    (ROOT / "EXPERIMENTS.md").write_text(md)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

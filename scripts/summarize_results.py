@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Extract the headline numbers from results/*.txt for EXPERIMENTS.md.
+
+Run after ./run_all_experiments.sh:
+
+    python scripts/summarize_results.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def grab(name: str, pattern: str, group: int = 0) -> str:
+    path = RESULTS / name
+    if not path.exists():
+        return f"<{name} missing>"
+    match = re.search(pattern, path.read_text())
+    return match.group(group) if match else f"<no match in {name}>"
+
+
+def main() -> int:
+    print("fig2 average:", grab("fig2.txt", r"average biased dynamic fraction: [\d.]+%"))
+    print("fig8 summary:", grab("fig8.txt", r"BF-Neural vs OH-SNAP.*"))
+    print("fig8 vs tage:", grab("fig8.txt", r"BF-Neural vs TAGE.*"))
+    print("fig9 averages:", grab("fig9.txt", r"average MPKI: .*"))
+    print("fig10 verdict:", grab("fig10.txt", r"BF-ISL-TAGE better at table counts: .*"))
+    print("fig11 verdict:", grab("fig11.txt", r"BF-TAGE-10 tracks TAGE-15[\s\S]*?\)"))
+    print("fig12 verdict:", grab("fig12.txt", r"BF-TAGE's hit distribution[\s\S]*?\)"))
+    print("table1 totals:", grab("table1.txt", r"Total\s+\d+\s+\d+"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``suite``     — list the 40 suite traces and their categories.
+* ``generate``  — write suite traces to disk in the BFBP binary format.
+* ``stats``     — bias statistics for traces (by name or .bfbp file).
+* ``simulate``  — run predictors over traces and print MPKI.
+* ``diagnose``  — attribute mispredictions to static branches.
+* ``storage``   — storage budgets of the standard configurations.
+
+The per-figure experiments keep their own entry points under
+``python -m repro.experiments.<name>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.sim import simulate as run_simulation
+from repro.trace.io import read_trace, write_trace
+from repro.trace.records import Trace
+from repro.trace.stats import compute_stats
+from repro.workloads import SUITE_NAMES, build_trace, trace_names
+
+#: Predictor registry for the ``simulate`` subcommand.
+def _predictor_registry() -> dict:
+    from repro.core import BFTage, BFTageConfig, bf_neural_32kb, bf_neural_64kb
+    from repro.core.ahead import AheadPipelinedBFNeural
+    from repro.predictors import (
+        Bimodal,
+        GShare,
+        GlobalPerceptron,
+        ISLTage,
+        ScaledNeural,
+        Tage,
+        TageConfig,
+    )
+    from repro.predictors.filter import FilterPredictor
+
+    return {
+        "bimodal": Bimodal,
+        "gshare": GShare,
+        "filter": FilterPredictor,
+        "perceptron": lambda: GlobalPerceptron(rows=1024, history_length=64),
+        "oh-snap": ScaledNeural,
+        "tage10": lambda: Tage(TageConfig.for_tables(10)),
+        "tage15": lambda: Tage(TageConfig.for_tables(15)),
+        "isl-tage10": lambda: ISLTage(TageConfig.for_tables(10)),
+        "isl-tage15": lambda: ISLTage(TageConfig.for_tables(15)),
+        "bf-tage10": lambda: BFTage(BFTageConfig.for_tables(10)),
+        "bf-neural": bf_neural_64kb,
+        "bf-neural-32k": bf_neural_32kb,
+        "bf-neural-ahead": AheadPipelinedBFNeural,
+    }
+
+
+def _load_trace(spec: str, branches: int | None) -> Trace:
+    """A trace spec is a suite name or a path to a .bfbp file."""
+    if spec in SUITE_NAMES:
+        return build_trace(spec, branches)
+    path = Path(spec)
+    if path.exists():
+        trace = read_trace(path)
+        return trace.truncated(branches) if branches else trace
+    raise SystemExit(f"unknown trace {spec!r}: not a suite name or a file")
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    for name in trace_names(args.categories):
+        print(name)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in args.traces or trace_names(args.categories):
+        trace = build_trace(name, args.branches)
+        path = out_dir / f"{name}.bfbp"
+        write_trace(trace, path)
+        print(f"{path}  ({len(trace)} branches)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    print(f"{'trace':10s} {'branches':>9s} {'static':>7s} {'%biased':>8s} {'%taken':>7s}")
+    for spec in args.traces:
+        trace = _load_trace(spec, args.branches)
+        stats = compute_stats(trace)
+        print(
+            f"{trace.name:10s} {stats.dynamic_branches:9d} "
+            f"{stats.static_branches:7d} "
+            f"{100 * stats.biased_dynamic_fraction:7.1f}% "
+            f"{100 * stats.taken_fraction:6.1f}%"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    registry = _predictor_registry()
+    unknown = [name for name in args.predictors if name not in registry]
+    if unknown:
+        raise SystemExit(
+            f"unknown predictor(s) {unknown}; available: {', '.join(sorted(registry))}"
+        )
+    print(f"{'trace':10s} {'predictor':16s} {'MPKI':>8s} {'rate':>8s}")
+    for spec in args.traces:
+        trace = _load_trace(spec, args.branches)
+        for name in args.predictors:
+            result = run_simulation(registry[name](), trace)
+            print(
+                f"{trace.name:10s} {name:16s} {result.mpki:8.3f} "
+                f"{result.misprediction_rate:7.2%}"
+            )
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.sim.attribution import attribute, format_attribution
+
+    registry = _predictor_registry()
+    if args.predictor not in registry:
+        raise SystemExit(
+            f"unknown predictor {args.predictor!r}; "
+            f"available: {', '.join(sorted(registry))}"
+        )
+    for spec in args.traces:
+        trace = _load_trace(spec, args.branches)
+        result = attribute(
+            registry[args.predictor](), trace, track_providers=args.providers
+        )
+        print(format_attribution(result, count=args.top))
+        if args.providers and result.provider_misses:
+            print("misses by providing component:", dict(sorted(
+                result.provider_misses.items(), key=lambda kv: -kv[1])))
+        print()
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    registry = _predictor_registry()
+    print(f"{'predictor':16s} {'KB':>8s}")
+    for name in sorted(registry):
+        predictor = registry[name]()
+        print(f"{name:16s} {predictor.storage_bits() / 8 / 1024:8.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Bias-Free Branch Predictor reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="list suite trace names")
+    p_suite.add_argument("--categories", nargs="*", default=None)
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_gen = sub.add_parser("generate", help="write suite traces to .bfbp files")
+    p_gen.add_argument("out_dir")
+    p_gen.add_argument("--traces", nargs="*", default=None)
+    p_gen.add_argument("--categories", nargs="*", default=None)
+    p_gen.add_argument("--branches", type=int, default=None)
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="bias statistics for traces")
+    p_stats.add_argument("traces", nargs="+")
+    p_stats.add_argument("--branches", type=int, default=None)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_sim = sub.add_parser("simulate", help="run predictors over traces")
+    p_sim.add_argument("traces", nargs="+")
+    p_sim.add_argument("--predictors", nargs="+", default=["bf-neural"])
+    p_sim.add_argument("--branches", type=int, default=None)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_diag = sub.add_parser("diagnose", help="attribute mispredictions per branch")
+    p_diag.add_argument("traces", nargs="+")
+    p_diag.add_argument("--predictor", default="bf-neural")
+    p_diag.add_argument("--branches", type=int, default=None)
+    p_diag.add_argument("--top", type=int, default=10)
+    p_diag.add_argument("--providers", action="store_true")
+    p_diag.set_defaults(fn=_cmd_diagnose)
+
+    p_storage = sub.add_parser("storage", help="storage budgets per predictor")
+    p_storage.set_defaults(fn=_cmd_storage)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

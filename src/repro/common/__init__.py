@@ -1,0 +1,37 @@
+"""Shared low-level substrate: bit manipulation, counters, RNG, histories.
+
+These utilities model the hardware primitives every predictor in this
+repository is built from: index hash functions, saturating counters,
+a reproducible pseudo-random source for probabilistic updates, and the
+global-history registers (plain and folded) that feed index computations.
+"""
+
+from repro.common.bitops import (
+    fold_bits,
+    hash_combine,
+    is_power_of_two,
+    mask,
+    mix64,
+)
+from repro.common.counters import (
+    ProbabilisticCounter,
+    SaturatingCounter,
+    SignedSaturatingCounter,
+)
+from repro.common.histories import FoldedHistory, HistoryRing, MultiFoldedHistory
+from repro.common.rng import XorShift64
+
+__all__ = [
+    "FoldedHistory",
+    "HistoryRing",
+    "MultiFoldedHistory",
+    "ProbabilisticCounter",
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+    "XorShift64",
+    "fold_bits",
+    "hash_combine",
+    "is_power_of_two",
+    "mask",
+    "mix64",
+]

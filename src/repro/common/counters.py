@@ -1,0 +1,166 @@
+"""Saturating and probabilistic counters.
+
+Every table-based predictor in this repository stores small saturating
+counters: unsigned 2-bit bimodal counters, signed 3-bit TAGE prediction
+counters, signed 8-bit perceptron weights, and the probabilistic 3-bit
+BST counters the paper advocates for commercial implementations
+(Section IV-B1).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import XorShift64
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter in ``[0, 2**bits - 1]``.
+
+    The counter predicts taken when in the upper half of its range, the
+    classic bimodal interpretation.
+    """
+
+    __slots__ = ("_value", "bits", "maximum")
+
+    def __init__(self, bits: int, initial: int | None = None) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        midpoint_weak_taken = 1 << (bits - 1)
+        value = midpoint_weak_taken if initial is None else initial
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"initial value {value} outside [0, {self.maximum}]")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def update(self, taken: bool) -> None:
+        """Move toward saturation in the direction of the outcome."""
+        if taken:
+            if self._value < self.maximum:
+                self._value += 1
+        elif self._value > 0:
+            self._value -= 1
+
+    def predict(self) -> bool:
+        """True (taken) when in the upper half of the range."""
+        return self._value >= (1 << (self.bits - 1))
+
+    def is_saturated(self) -> bool:
+        return self._value in (0, self.maximum)
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self._value})"
+
+
+class SignedSaturatingCounter:
+    """A signed saturating counter in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+
+    TAGE prediction counters (3-bit) and perceptron weights (8-bit) are
+    instances.  The sign provides the prediction; magnitude is confidence.
+    """
+
+    __slots__ = ("_value", "bits", "maximum", "minimum")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 1:
+            raise ValueError(f"signed counter needs at least 2 bits, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << (bits - 1)) - 1
+        self.minimum = -(1 << (bits - 1))
+        if not self.minimum <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} outside [{self.minimum}, {self.maximum}]"
+            )
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def update(self, increase: bool) -> None:
+        if increase:
+            if self._value < self.maximum:
+                self._value += 1
+        elif self._value > self.minimum:
+            self._value -= 1
+
+    def predict(self) -> bool:
+        """True (taken) when the counter is non-negative."""
+        return self._value >= 0
+
+    def is_weak(self) -> bool:
+        """True when the counter sits at one of the two weakest states."""
+        return self._value in (0, -1)
+
+    def __repr__(self) -> str:
+        return f"SignedSaturatingCounter(bits={self.bits}, value={self._value})"
+
+
+def saturating_add(value: int, delta: int, minimum: int, maximum: int) -> int:
+    """Add ``delta`` to ``value`` clamping the result to the given range.
+
+    A function (rather than an object) for the hot perceptron-training
+    loops where per-weight objects would be too slow.
+    """
+    result = value + delta
+    if result > maximum:
+        return maximum
+    if result < minimum:
+        return minimum
+    return result
+
+
+class ProbabilisticCounter:
+    """A probabilistic saturating counter (Riley & Zilles, HPCA 2006).
+
+    The counter increments only with probability ``1/2**rate`` once above
+    ``deterministic_until``, so an n-bit counter covers a much larger
+    effective count range.  The paper advocates 3-bit probabilistic BST
+    counters so branches revert from non-biased to biased across phase
+    changes; we expose the same stochastic-update primitive.
+    """
+
+    __slots__ = ("_rng", "_value", "bits", "deterministic_until", "maximum", "rate")
+
+    def __init__(
+        self,
+        bits: int,
+        rate: int = 3,
+        deterministic_until: int = 1,
+        rng: XorShift64 | None = None,
+    ) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        self.rate = rate
+        self.deterministic_until = deterministic_until
+        self._rng = rng if rng is not None else XorShift64()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self) -> bool:
+        """Probabilistically increment; return True when the value changed."""
+        if self._value >= self.maximum:
+            return False
+        if self._value < self.deterministic_until or self.rate == 0:
+            self._value += 1
+            return True
+        if self._rng.chance(1, 1 << self.rate):
+            self._value += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticCounter(bits={self.bits}, value={self._value})"

@@ -1,0 +1,53 @@
+"""Deterministic pseudo-random number generator.
+
+Probabilistic counter updates (Riley & Zilles, cited by the paper for the
+3-bit BST counters) and TAGE's probabilistic entry allocation both need a
+random source.  A tiny xorshift64* generator keeps every simulation run a
+pure function of its seed, independent of Python's global ``random`` state.
+"""
+
+from __future__ import annotations
+
+_U64 = (1 << 64) - 1
+
+
+class XorShift64:
+    """xorshift64* generator with a 64-bit state.
+
+    The generator never yields state 0 (which would be absorbing), so any
+    seed is accepted and silently remapped away from zero.
+    """
+
+    def __init__(self, seed: int = 0x2545F4914F6CDD1D) -> None:
+        self._state = (seed & _U64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        """Advance the state and return a 64-bit unsigned integer."""
+        x = self._state
+        x ^= (x >> 12) & _U64
+        x = (x ^ (x << 25)) & _U64
+        x ^= x >> 27
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _U64
+
+    def next_bits(self, bits: int) -> int:
+        """Return a uniform integer in ``[0, 2**bits)``."""
+        if not 0 < bits <= 64:
+            raise ValueError(f"bits must be in 1..64, got {bits}")
+        return self.next_u64() >> (64 - bits)
+
+    def next_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        """Return True with probability ``numerator / denominator``."""
+        if denominator <= 0:
+            raise ValueError(f"denominator must be positive, got {denominator}")
+        return self.next_below(denominator) < numerator
+
+    def fork(self) -> "XorShift64":
+        """Return an independent generator seeded from this one."""
+        return XorShift64(self.next_u64())

@@ -1,0 +1,45 @@
+"""The paper's contribution: bias-free branch prediction.
+
+* ``bst`` — the Branch Status Table, a direct-mapped table of per-branch
+  bias-detection FSMs (Figure 5), with the probabilistic-counter variant.
+* ``recency_stack`` — the RS structure (Figure 3) keeping the latest
+  occurrence of each non-biased branch plus its positional history.
+* ``bfneural`` — the practical BF-Neural predictor (Algorithms 2 and 3),
+  with feature flags exposing the Figure 9 ablation stages.
+* ``segments`` — segmented recency stacks and BF-GHR construction
+  (Figure 7).
+* ``bftage`` — the BF-TAGE / BF-ISL-TAGE predictor (Section V).
+* ``configs`` — 64 KB / 32 KB presets and Table I storage accounting.
+"""
+
+from repro.core.bst import BranchStatus, BranchStatusTable
+from repro.core.recency_stack import RecencyStack, RSEntry
+from repro.core.bfneural import BFNeural, BFNeuralConfig
+from repro.core.bfneural_ideal import IdealBFNeural, oracle_from_trace
+from repro.core.ahead import AheadPipelinedBFNeural
+from repro.core.segments import SegmentedRecencyStacks
+from repro.core.bftage import BFTage, BFTageConfig, BFISLTage
+from repro.core.configs import (
+    bf_neural_32kb,
+    bf_neural_64kb,
+    bf_tage_storage_table,
+)
+
+__all__ = [
+    "AheadPipelinedBFNeural",
+    "BFISLTage",
+    "BFNeural",
+    "BFNeuralConfig",
+    "BFTage",
+    "BFTageConfig",
+    "BranchStatus",
+    "BranchStatusTable",
+    "IdealBFNeural",
+    "oracle_from_trace",
+    "RSEntry",
+    "RecencyStack",
+    "SegmentedRecencyStacks",
+    "bf_neural_32kb",
+    "bf_neural_64kb",
+    "bf_tage_storage_table",
+]

@@ -1,0 +1,130 @@
+"""Ahead-pipelined BF-Neural (the paper's stated future work).
+
+The conclusion sketches a pipelined implementation that "will utilize
+the ahead-pipelining technique as proposed in [Jimenez, ISCA 2005] in
+conjunction with not including the branch PC in row index computation".
+This module models that design point so its accuracy cost can be
+measured:
+
+* **No pc in the correlating index.** Row selection for ``Wm`` and
+  ``Wrs`` hashes only the history-side inputs (path address, positional
+  distance, folded history); the branch's own pc contributes through the
+  bias weight alone.  This is what lets the dot product start before the
+  predicted branch's address is known.
+* **Stale history.** The accumulation starts ``ahead`` branches early,
+  so the correlating components see the recency stack and history
+  registers as they were ``ahead`` commits ago; only the bias weight is
+  indexed with up-to-date information.
+
+With ``ahead=0`` this reduces to a pc-free-index BF-Neural, isolating
+the aliasing cost of dropping the pc from the (1-cycle) index hash.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.bitops import fold_bits, mask, mix64
+from repro.core.bfneural import BFNeural, BFNeuralConfig, quantize_distance
+
+
+class AheadPipelinedBFNeural(BFNeural):
+    """BF-Neural with ahead-pipelined, pc-free correlating indexes."""
+
+    name = "bf-neural-ahead"
+
+    def __init__(self, config: BFNeuralConfig | None = None, ahead: int = 2) -> None:
+        if ahead < 0:
+            raise ValueError(f"ahead must be non-negative, got {ahead}")
+        super().__init__(config)
+        self.ahead = ahead
+        # Snapshots of (rs entries, rs clock, recent bits, recent paths,
+        # per-depth folds) taken at each commit; the entry `ahead` commits
+        # old drives the correlating components.
+        self._snapshots: deque = deque(maxlen=max(1, ahead))
+
+    # ------------------------------------------------------------------
+
+    def _take_snapshot(self) -> None:
+        entries = [
+            (entry.address, entry.stamp, entry.outcome) for entry in self.rs.entries()
+        ]
+        folds = [self._folded(depth) for depth in self._folds.depths]
+        self._snapshots.append(
+            (
+                entries,
+                self.rs._clock,
+                self._recent_bits,
+                list(self._recent_paths),
+                folds,
+            )
+        )
+
+    def _stale_state(self):
+        if self.ahead == 0 or not self._snapshots:
+            entries = [
+                (entry.address, entry.stamp, entry.outcome)
+                for entry in self.rs.entries()
+            ]
+            folds = [self._folded(depth) for depth in self._folds.depths]
+            return entries, self.rs._clock, self._recent_bits, list(self._recent_paths), folds
+        return self._snapshots[0]
+
+    def _stale_folded(self, depth: int, folds: list[int]) -> int:
+        best = 0
+        for ladder_depth, value in zip(self._folds.depths, folds):
+            if ladder_depth <= depth:
+                best = value
+            else:
+                break
+        return best
+
+    def _compute(self, pc: int) -> None:
+        """Pc-free row indexes over the `ahead`-stale history state."""
+        cfg = self.config
+        entries, clock, recent_bits, recent_paths, folds = self._stale_state()
+        accum = self._wb[pc & (cfg.bias_entries - 1)]
+        self._last_bias_index = pc & (cfg.bias_entries - 1)
+
+        wm_rows: list[int] = []
+        wm_signs: list[int] = []
+        row_mask = cfg.wm_rows - 1
+        use_fold = cfg.use_folded_hist
+        for i in range(cfg.ht):
+            key = recent_paths[i]
+            if use_fold:
+                key ^= fold_bits(
+                    recent_bits & mask(i + 1), i + 1, self._folds.width
+                ) << 5
+            row = mix64(key ^ (i << 24)) & row_mask
+            sign = 1 if (recent_bits >> i) & 1 else -1
+            accum += self._wm[row][i] * sign
+            wm_rows.append(row)
+            wm_signs.append(sign)
+
+        wrs_idx: list[int] = []
+        wrs_signs: list[int] = []
+        wrs_mask = cfg.wrs_entries - 1
+        for address, stamp, outcome in entries:
+            distance = min(clock - stamp, cfg.position_cap)
+            key = address
+            if cfg.use_positional:
+                key ^= quantize_distance(distance) << 13
+            if use_fold:
+                key ^= self._stale_folded(distance, folds) << 21
+            index = mix64(key) & wrs_mask
+            sign = 1 if outcome else -1
+            accum += self._wrs[index] * sign
+            wrs_idx.append(index)
+            wrs_signs.append(sign)
+
+        self._last_accum = accum
+        self._last_wm_rows = wm_rows
+        self._last_wm_signs = wm_signs
+        self._last_wrs_idx = wrs_idx
+        self._last_wrs_signs = wrs_signs
+
+    def train(self, pc: int, taken: bool) -> None:
+        super().train(pc, taken)
+        if self.ahead > 0:
+            self._take_snapshot()

@@ -1,0 +1,331 @@
+"""BF-Neural: the practical bias-free neural predictor (Algorithms 2, 3).
+
+Prediction path (Algorithm 2):
+
+* branches the BST has never seen get a static default;
+* branches the BST believes biased are predicted with their recorded
+  direction and neither read nor train the weight tables;
+* non-biased branches accumulate three perceptron components:
+
+  1. a pc-indexed bias weight ``Wb``,
+  2. a conventional component ``Wm`` over the ``ht`` most recent
+     *unfiltered* history bits, each weight selected by
+     ``hash(pc, path address, folded history at that depth)`` — the
+     paper keeps a few unfiltered bits so strongly biased branches can
+     out-vote the bias weight during training (Section IV-B2),
+  3. the bias-free component ``Wrs`` over the recency-stack entries,
+     each weight selected by ``hash(pc, RS.A, quantized RS.P, folded
+     history over the RS.P most recent branches)`` — a one-dimensional
+     table, so previously detected non-biased branches never re-learn
+     when a newly detected branch shifts stack depths (Section IV-B2).
+
+A 64-entry loop-count predictor overrides the neural output for
+constant-trip loops once a ``WITHLOOP`` confidence counter trusts it.
+
+The Figure 9 ablation stages map to constructor flags:
+
+=====================  =============================================
+Figure 9 bar           configuration
+=====================  =============================================
+BF-Neural (fhist)      ``filter_biased_history=False, use_rs=False``
++ ghist bias-free      ``filter_biased_history=True, use_rs=False``
++ RS                   ``filter_biased_history=True, use_rs=True``
+=====================  =============================================
+
+(The leftmost Figure 9 bar — a conventional hashed perceptron with
+72-bit history — is ``repro.predictors.snap.ScaledNeural(history=72)``;
+see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import fold_bits, mask, mix64
+from repro.common.histories import MultiFoldedHistory
+from repro.core.bst import BranchStatus, BranchStatusTable
+from repro.core.recency_stack import RecencyStack
+from repro.predictors.base import BranchPredictor
+from repro.predictors.loop import LoopPredictor
+
+#: Depth ladder for the folded-history registers backing ``folded(P)``.
+_FOLD_DEPTHS = [4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048]
+
+
+def quantize_distance(distance: int) -> int:
+    """Log-scale quantization of a positional distance.
+
+    Hardware stores P in a handful of bits; this maps distances to
+    ~log2 buckets with four sub-buckets each, so nearby instances of a
+    pattern share a bucket while clearly different distances do not.
+    """
+    if distance < 4:
+        return distance
+    exponent = distance.bit_length() - 1
+    sub = (distance >> (exponent - 2)) & 3
+    return exponent * 4 + sub
+
+
+@dataclass
+class BFNeuralConfig:
+    """Structural and feature parameters of BF-Neural.
+
+    Defaults follow the paper's 64 KB configuration (Section VI-B): a
+    16K-entry BST, a 1024x16 two-dimensional weight table over 16 recent
+    unfiltered history bits, a 64K-entry one-dimensional weight table
+    and a recency stack of depth 48.
+    """
+
+    bst_entries: int = 16384
+    probabilistic_bst: bool = False
+    bias_entries: int = 2048
+    wm_rows: int = 1024
+    ht: int = 16
+    wrs_entries: int = 65536
+    rs_depth: int = 48
+    weight_bits: int = 6
+    position_cap: int = 2048
+    default_prediction: bool = True
+    # Feature flags (Figure 9 ablations).
+    filter_biased_history: bool = True
+    use_rs: bool = True
+    use_folded_hist: bool = True
+    use_positional: bool = True
+    with_loop_predictor: bool = True
+    # Adaptive threshold (Seznec TC scheme).  The starting point matters:
+    # weights are 6-bit (|w| <= 31), so a threshold far above the
+    # achievable |accum| keeps every uncorrelated weight churning in a
+    # random walk that drowns saturated correlation weights.
+    initial_theta: int = 35
+    adaptive_theta: bool = True
+
+
+class BFNeural(BranchPredictor):
+    """The practical BF-Neural predictor."""
+
+    name = "bf-neural"
+
+    def __init__(self, config: BFNeuralConfig | None = None) -> None:
+        self.config = config if config is not None else BFNeuralConfig()
+        cfg = self.config
+        self.bst = BranchStatusTable(
+            entries=cfg.bst_entries, probabilistic=cfg.probabilistic_bst
+        )
+        self.rs = RecencyStack(
+            depth=cfg.rs_depth,
+            position_cap=cfg.position_cap,
+            dedup=cfg.use_rs,
+        )
+        weight_max = (1 << (cfg.weight_bits - 1)) - 1
+        self._wmax = weight_max
+        self._wmin = -(weight_max + 1)
+        self._wb = [0] * cfg.bias_entries
+        self._wm = [[0] * cfg.ht for _ in range(cfg.wm_rows)]
+        self._wrs = [0] * cfg.wrs_entries
+        self.loop = LoopPredictor() if cfg.with_loop_predictor else None
+        self._withloop = -1
+        self.theta = cfg.initial_theta
+        self._tc = 0
+        # Unfiltered history state.
+        self._recent_bits = 0  # newest outcome at bit 0
+        self._recent_paths = [0] * cfg.ht  # newest at index 0
+        self._folds = MultiFoldedHistory(
+            depths=[d for d in _FOLD_DEPTHS if d <= cfg.position_cap],
+            width=max(4, cfg.wm_rows.bit_length() - 1),
+            ring_capacity=cfg.position_cap,
+        )
+        # Per-prediction scratch consumed by train().
+        self._last_status = BranchStatus.NOT_FOUND
+        self._last_accum = 0
+        self._last_used_weights = False
+        self._last_wm_rows: list[int] = []
+        self._last_wm_signs: list[int] = []
+        self._last_wrs_idx: list[int] = []
+        self._last_wrs_signs: list[int] = []
+        self._last_bias_index = 0
+        self._last_neural_pred = False
+        self._last_loop_pred = False
+        self._last_loop_valid = False
+        self._last_pred = False
+        self._last_provider = "default"
+
+    # ------------------------------------------------------------------
+    # Component computation
+    # ------------------------------------------------------------------
+
+    def _folded(self, depth: int) -> int:
+        """Folded unfiltered history over the last ``depth`` outcomes."""
+        if depth <= 16:
+            # Small windows need no incremental register: fold the raw bits.
+            return fold_bits(self._recent_bits & mask(depth), depth, self._folds.width)
+        return self._folds.folded_at(depth)
+
+    def _compute(self, pc: int) -> None:
+        """Evaluate the three weight components for a non-biased branch."""
+        cfg = self.config
+        accum = self._wb[pc & (cfg.bias_entries - 1)]
+        self._last_bias_index = pc & (cfg.bias_entries - 1)
+
+        wm_rows: list[int] = []
+        wm_signs: list[int] = []
+        recent = self._recent_bits
+        use_fold = cfg.use_folded_hist
+        row_mask = cfg.wm_rows - 1
+        for i in range(cfg.ht):
+            key = pc ^ self._recent_paths[i]
+            if use_fold:
+                key ^= self._folded(i + 1) << 5
+            row = mix64(key ^ (i << 24)) & row_mask
+            sign = 1 if (recent >> i) & 1 else -1
+            accum += self._wm[row][i] * sign
+            wm_rows.append(row)
+            wm_signs.append(sign)
+
+        wrs_idx: list[int] = []
+        wrs_signs: list[int] = []
+        wrs_mask = cfg.wrs_entries - 1
+        for entry in self.rs.entries():
+            distance = self.rs.distance_of(entry)
+            key = pc ^ entry.address
+            if cfg.use_positional:
+                key ^= quantize_distance(distance) << 13
+            if use_fold:
+                key ^= self._folded(distance) << 21
+            index = mix64(key) & wrs_mask
+            sign = 1 if entry.outcome else -1
+            accum += self._wrs[index] * sign
+            wrs_idx.append(index)
+            wrs_signs.append(sign)
+
+        self._last_accum = accum
+        self._last_wm_rows = wm_rows
+        self._last_wm_signs = wm_signs
+        self._last_wrs_idx = wrs_idx
+        self._last_wrs_signs = wrs_signs
+
+    # ------------------------------------------------------------------
+    # Prediction (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        status = self.bst.status(pc)
+        self._last_status = status
+        self._last_used_weights = False
+        self._last_loop_valid = False
+
+        if status == BranchStatus.NOT_FOUND:
+            prediction = self.config.default_prediction
+            provider = "default"
+        elif status in (BranchStatus.TAKEN, BranchStatus.NOT_TAKEN):
+            prediction = status == BranchStatus.TAKEN
+            provider = "bst"
+        else:
+            self._compute(pc)
+            self._last_used_weights = True
+            prediction = self._last_accum >= 0
+            provider = "neural"
+            self._last_neural_pred = prediction
+            if self.loop is not None:
+                loop_pred, loop_valid = self.loop.lookup(pc)
+                self._last_loop_pred = loop_pred
+                self._last_loop_valid = loop_valid
+                if loop_valid and self._withloop >= 0:
+                    prediction = loop_pred
+                    provider = "loop"
+
+        self._last_pred = prediction
+        self._last_provider = provider
+        return prediction
+
+    @property
+    def provider(self) -> str:
+        return self._last_provider
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _update_weights(self, taken: bool) -> None:
+        t = 1 if taken else -1
+        wmax = self._wmax
+        wmin = self._wmin
+        bias_index = self._last_bias_index
+        value = self._wb[bias_index] + t
+        self._wb[bias_index] = wmax if value > wmax else (wmin if value < wmin else value)
+        for i, (row, sign) in enumerate(zip(self._last_wm_rows, self._last_wm_signs)):
+            value = self._wm[row][i] + t * sign
+            self._wm[row][i] = wmax if value > wmax else (wmin if value < wmin else value)
+        wrs = self._wrs
+        for index, sign in zip(self._last_wrs_idx, self._last_wrs_signs):
+            value = wrs[index] + t * sign
+            wrs[index] = wmax if value > wmax else (wmin if value < wmin else value)
+
+    def _adapt_theta(self, mispredicted: bool) -> None:
+        if not self.config.adaptive_theta:
+            return
+        if mispredicted:
+            self._tc += 1
+            if self._tc >= 7:
+                self._tc = 0
+                self.theta += 1
+        else:
+            self._tc -= 1
+            if self._tc <= -7:
+                self._tc = 0
+                if self.theta > 1:
+                    self.theta -= 1
+
+    def train(self, pc: int, taken: bool) -> None:
+        status = self._last_status
+        mispredicted = self._last_pred != taken
+
+        if status == BranchStatus.NON_BIASED:
+            if self.loop is not None:
+                if self._last_loop_valid and self._last_loop_pred != self._last_neural_pred:
+                    if self._last_loop_pred == taken:
+                        if self._withloop < 63:
+                            self._withloop += 1
+                    elif self._withloop > -64:
+                        self._withloop -= 1
+                self.loop.update(pc, taken, allocate=mispredicted)
+            neural_wrong = self._last_neural_pred != taken
+            if neural_wrong or abs(self._last_accum) <= self.theta:
+                self._update_weights(taken)
+                self._adapt_theta(neural_wrong)
+        elif status in (BranchStatus.TAKEN, BranchStatus.NOT_TAKEN) and mispredicted:
+            # The branch just turned non-biased (Algorithm 3): give the
+            # weights their first lesson using components computed now.
+            self._compute(pc)
+            self._update_weights(taken)
+
+        self.bst.observe(pc, taken)
+
+        # History management: the RS clock counts every committed branch;
+        # the stack records non-biased branches (or, in the unfiltered
+        # ablation, every branch).
+        self.rs.tick()
+        if self.config.filter_biased_history:
+            if self.bst.is_non_biased(pc):
+                self.rs.record(pc, taken)
+        else:
+            self.rs.record(pc, taken)
+
+        # Unfiltered global history always advances.
+        self._recent_bits = ((self._recent_bits << 1) | int(taken)) & mask(64)
+        self._recent_paths[1:] = self._recent_paths[:-1]
+        self._recent_paths[0] = pc & 0xFFFF
+        self._folds.push(taken)
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        cfg = self.config
+        bits = self.bst.storage_bits()
+        bits += cfg.bias_entries * cfg.weight_bits
+        bits += cfg.wm_rows * cfg.ht * cfg.weight_bits
+        bits += cfg.wrs_entries * cfg.weight_bits
+        bits += self.rs.storage_bits()
+        bits += cfg.ht * (16 + 1)  # recent path/outcome registers
+        if self.loop is not None:
+            bits += self.loop.storage_bits()
+        return bits

@@ -1,0 +1,149 @@
+"""The idealized BF-Neural predictor (paper Algorithm 1).
+
+The conceptual design the practical implementation is derived from:
+
+* bias status is *oracle* knowledge — the caller provides a
+  classification function (e.g. from a profiling pass over the trace,
+  the "static profile-assisted classification" §VI-D mentions for the
+  SERV traces) instead of the runtime BST;
+* correlating weights live in a **two-dimensional** table ``Wm`` whose
+  column is the RS *depth* of the correlated branch and whose row is
+  ``hash(pc ^ A[i] ^ P[i])`` — the layout Algorithm 1 gives, before the
+  one-dimensional refinement of Section IV-B2;
+* biased branches are predicted with their oracle direction and excluded
+  from history and training.
+
+This class exists to quantify two things the paper discusses: how much
+the *dynamic* detection costs relative to an oracle (the SERV pathology),
+and how much the 2-D depth-indexed layout loses when newly detected
+branches shift stack depths (motivating the 1-D table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.bitops import mix64
+from repro.core.bfneural import quantize_distance
+from repro.core.recency_stack import RecencyStack
+from repro.predictors.base import BranchPredictor
+
+#: Classification oracle: pc -> True (taken-biased), False (not-taken-
+#: biased) or None (non-biased).
+BiasOracle = Callable[[int], "bool | None"]
+
+
+def oracle_from_trace(trace, bias_threshold: float = 1.0) -> BiasOracle:
+    """Build a whole-trace profiling oracle (the idealized classifier).
+
+    ``bias_threshold`` is the fraction of executions that must agree for
+    a branch to be classified biased.  1.0 reproduces the paper's
+    "completely biased" definition; a profile-assisted deployment would
+    use a slightly lower threshold (e.g. 0.8) so branches that are biased
+    per phase — the SERV pathology — stay out of the filtered history.
+    """
+    from repro.trace.stats import compute_stats
+
+    if not 0.5 < bias_threshold <= 1.0:
+        raise ValueError(f"bias_threshold must be in (0.5, 1], got {bias_threshold}")
+    profiles = compute_stats(trace).profiles
+
+    def classify(pc: int) -> bool | None:
+        profile = profiles.get(pc)
+        if profile is None:
+            return None
+        if profile.bias_ratio >= bias_threshold:
+            return profile.taken_count >= profile.not_taken_count
+        return None
+
+    return classify
+
+
+class IdealBFNeural(BranchPredictor):
+    """Algorithm 1: oracle bias knowledge + depth-indexed 2-D weights."""
+
+    name = "bf-neural-ideal"
+
+    _WEIGHT_MAX = 31
+    _WEIGHT_MIN = -32
+
+    def __init__(
+        self,
+        bias_oracle: BiasOracle,
+        bias_entries: int = 2048,
+        wm_rows: int = 4096,
+        rs_depth: int = 48,
+        position_cap: int = 2048,
+        theta: int = 30,
+    ) -> None:
+        self._oracle = bias_oracle
+        self.bias_entries = bias_entries
+        self.wm_rows = wm_rows
+        self.rs_depth = rs_depth
+        self.theta = theta
+        self._wb = [0] * bias_entries
+        # Wm[row][column]: column = depth of the entry in the RS.
+        self._wm = [[0] * rs_depth for _ in range(wm_rows)]
+        self.rs = RecencyStack(depth=rs_depth, position_cap=position_cap)
+        self._last_accum = 0
+        self._last_terms: list[tuple[int, int, int]] = []  # (row, column, sign)
+        self._last_bias_index = 0
+        self._last_non_biased = False
+        self._last_pred = False
+
+    def predict(self, pc: int) -> bool:
+        bias = self._oracle(pc)
+        if bias is not None:
+            self._last_non_biased = False
+            self._last_pred = bias
+            return bias
+
+        self._last_non_biased = True
+        bias_index = pc & (self.bias_entries - 1)
+        accum = self._wb[bias_index]
+        terms: list[tuple[int, int, int]] = []
+        for column, entry in enumerate(self.rs.entries()):
+            distance = self.rs.distance_of(entry)
+            row = mix64(pc ^ entry.address ^ (quantize_distance(distance) << 13)) & (
+                self.wm_rows - 1
+            )
+            sign = 1 if entry.outcome else -1
+            accum += self._wm[row][column] * sign
+            terms.append((row, column, sign))
+        self._last_accum = accum
+        self._last_terms = terms
+        self._last_bias_index = bias_index
+        self._last_pred = accum >= 0
+        return self._last_pred
+
+    def train(self, pc: int, taken: bool) -> None:
+        if self._last_non_biased:
+            mispredicted = self._last_pred != taken
+            if mispredicted or abs(self._last_accum) <= self.theta:
+                t = 1 if taken else -1
+                index = self._last_bias_index
+                self._wb[index] = self._clamp(self._wb[index] + t)
+                for row, column, sign in self._last_terms:
+                    self._wm[row][column] = self._clamp(
+                        self._wm[row][column] + t * sign
+                    )
+            # Only non-biased branches enter the history (Algorithm 1).
+            self.rs.tick()
+            self.rs.record(pc, taken)
+        else:
+            self.rs.tick()
+
+    @classmethod
+    def _clamp(cls, value: int) -> int:
+        if value > cls._WEIGHT_MAX:
+            return cls._WEIGHT_MAX
+        if value < cls._WEIGHT_MIN:
+            return cls._WEIGHT_MIN
+        return value
+
+    def storage_bits(self) -> int:
+        return (
+            self.bias_entries * 6
+            + self.wm_rows * self.rs_depth * 6
+            + self.rs.storage_bits()
+        )

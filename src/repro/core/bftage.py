@@ -1,0 +1,179 @@
+"""BF-TAGE: TAGE indexed by the bias-free global history (Section V).
+
+Structurally BF-TAGE is a conventional TAGE — the same tagged tables,
+useful bits, allocation and aging — but the tagged tables are indexed by
+prefixes of the *BF-GHR* built from segmented recency stacks instead of
+prefixes of the raw global history.  The compressed history lengths for
+the 10-table configuration, {3, 8, 14, 26, 40, 54, 70, 94, 118, 142},
+are the paper's (Section VI-C); smaller table counts use prefixes.
+
+Because the BF-GHR is re-ordered by recency-stack management on every
+commit, its folds cannot be maintained incrementally like TAGE's CSRs;
+the predictor re-folds the (at most ~144-element) BF-GHR prefix per
+prediction, modelling the same hardware hash tree.
+
+``BFISLTage`` adds the loop predictor and statistical corrector overlay,
+mirroring BF-ISL-TAGE in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import fold_bits, mask
+from repro.core.bst import BranchStatusTable
+from repro.core.segments import DEFAULT_BOUNDARIES, SegmentedRecencyStacks
+from repro.predictors.tage.isl import ISLTage
+from repro.predictors.tage.tage import Tage, TageConfig, _default_sizing
+
+#: Compressed (BF-GHR) history lengths for the 10-table configuration.
+BF_10_TABLE_LENGTHS = [3, 8, 14, 26, 40, 54, 70, 94, 118, 142]
+
+#: Table I sizing for the 10-table configuration: Kentries 2,2,2,4,4,4,
+#: 2,2,1,1 and tag widths 7..15.
+_TABLE_I_LOG2 = [11, 11, 11, 12, 12, 12, 11, 11, 10, 10]
+_TABLE_I_TAGS = [7, 7, 8, 9, 10, 11, 11, 13, 14, 15]
+
+
+def bf_lengths(num_tables: int) -> list[int]:
+    """Compressed history lengths for a BF-TAGE with ``num_tables``."""
+    if not 1 <= num_tables <= len(BF_10_TABLE_LENGTHS):
+        raise ValueError(
+            f"BF-TAGE supports 1..{len(BF_10_TABLE_LENGTHS)} tables, got {num_tables}"
+        )
+    return BF_10_TABLE_LENGTHS[:num_tables]
+
+
+@dataclass
+class BFTageConfig:
+    """Structural parameters of BF-TAGE."""
+
+    num_tables: int = 10
+    base_log2_entries: int = 14
+    history_lengths: list[int] = field(default_factory=list)
+    log2_entries: list[int] = field(default_factory=list)
+    tag_bits: list[int] = field(default_factory=list)
+    bst_entries: int = 8192
+    probabilistic_bst: bool = False
+    boundaries: list[int] = field(default_factory=lambda: list(DEFAULT_BOUNDARIES))
+    rs_size: int = 8
+    unfiltered_bits: int = 16
+    path_bits: int = 16
+    useful_reset_period: int = 1 << 14
+    seed: int = 0xBF7A
+
+    def __post_init__(self) -> None:
+        if not self.history_lengths:
+            self.history_lengths = bf_lengths(self.num_tables)
+        if not self.log2_entries or not self.tag_bits:
+            if self.num_tables == 10:
+                log2, tags = list(_TABLE_I_LOG2), list(_TABLE_I_TAGS)
+            else:
+                log2, tags = _default_sizing(self.num_tables)
+            self.log2_entries = self.log2_entries or log2
+            self.tag_bits = self.tag_bits or tags
+
+    @classmethod
+    def for_tables(cls, num_tables: int) -> "BFTageConfig":
+        return cls(num_tables=num_tables)
+
+    def to_tage_config(self) -> TageConfig:
+        return TageConfig(
+            num_tables=self.num_tables,
+            base_log2_entries=self.base_log2_entries,
+            history_lengths=list(self.history_lengths),
+            log2_entries=list(self.log2_entries),
+            tag_bits=list(self.tag_bits),
+            path_bits=self.path_bits,
+            useful_reset_period=self.useful_reset_period,
+            seed=self.seed,
+        )
+
+
+class BFTage(Tage):
+    """TAGE over the bias-free global history register.
+
+    ``bias_oracle`` replaces the runtime BST with a profile-assisted
+    classification (pc -> biased direction or None), the §VI-D variant
+    that restores the SERV traces' accuracy: dynamic detection misfiles
+    phase-changing branches, a profile does not.
+    """
+
+    name = "bf-tage"
+
+    def __init__(
+        self,
+        config: BFTageConfig | None = None,
+        bias_oracle=None,
+    ) -> None:
+        self.bf_config = config if config is not None else BFTageConfig()
+        super().__init__(self.bf_config.to_tage_config())
+        self.bst = BranchStatusTable(
+            entries=self.bf_config.bst_entries,
+            probabilistic=self.bf_config.probabilistic_bst,
+        )
+        self.bias_oracle = bias_oracle
+        self.segments = SegmentedRecencyStacks(
+            boundaries=self.bf_config.boundaries,
+            rs_size=self.bf_config.rs_size,
+            unfiltered_bits=self.bf_config.unfiltered_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Index computation from the BF-GHR
+    # ------------------------------------------------------------------
+
+    def _compute_indices(self, pc: int) -> None:
+        lengths = self.config.history_lengths
+        packed_full, _ = self.segments.packed_ghr(lengths[-1])
+        path = self._path_history & mask(self.config.path_bits)
+        for i, table in enumerate(self.tables):
+            width = 3 * lengths[i]
+            prefix = packed_full & mask(width)
+            index_fold = fold_bits(prefix, width, table.log2_entries)
+            self._last_indices[i] = table.index_of(pc, index_fold, path)
+            tag_fold_1 = fold_bits(prefix, width, table.tag_bits)
+            tag_fold_2 = fold_bits(prefix, width, max(1, table.tag_bits - 1))
+            self._last_tags[i] = table.tag_of(pc, tag_fold_1, tag_fold_2)
+
+    # ------------------------------------------------------------------
+    # History advance: BST classification feeds the segmented stacks
+    # ------------------------------------------------------------------
+
+    def _advance_histories(self, pc: int, taken: bool) -> None:
+        if self.bias_oracle is not None:
+            non_biased = self.bias_oracle(pc) is None
+        else:
+            self.bst.observe(pc, taken)
+            non_biased = self.bst.is_non_biased(pc)
+        self.segments.commit(pc, taken, non_biased)
+        self._path_history = ((self._path_history << 1) | (pc & 1)) & mask(
+            self.config.path_bits
+        )
+
+    def storage_bits(self) -> int:
+        bits = self.base.storage_bits()
+        for table in self.tables:
+            bits += table.storage_bits()
+        bits += self.bst.storage_bits()
+        bits += self.segments.storage_bits()
+        bits += self.config.path_bits
+        return bits
+
+
+class BFISLTage(ISLTage):
+    """BF-ISL-TAGE: BF-TAGE plus loop predictor and statistical corrector."""
+
+    name = "bf-isl-tage"
+
+    def __init__(
+        self,
+        config: BFTageConfig | None = None,
+        with_loop_predictor: bool = True,
+        with_statistical_corrector: bool = True,
+    ) -> None:
+        super().__init__(
+            core=BFTage(config),
+            with_loop_predictor=with_loop_predictor,
+            with_statistical_corrector=with_statistical_corrector,
+        )

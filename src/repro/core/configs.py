@@ -1,0 +1,62 @@
+"""Sizing presets and the Table I storage accounting.
+
+The paper evaluates BF-Neural at 64 KB (2.49 MPKI) and 32 KB
+(2.73 MPKI), and reports the full storage breakdown of the 10-table
+BF-TAGE (51 100 bytes) in Table I.  These helpers build the matching
+configurations and regenerate the storage table from the model's own
+accounting.
+"""
+
+from __future__ import annotations
+
+from repro.core.bfneural import BFNeural, BFNeuralConfig
+from repro.core.bftage import BFTage, BFTageConfig
+
+
+def bf_neural_64kb(**overrides: object) -> BFNeural:
+    """The paper's 64 KB BF-Neural: 16K BST, 1024x16 Wm, 64K Wrs, RS 48."""
+    config = BFNeuralConfig(
+        bst_entries=16384,
+        bias_entries=2048,
+        wm_rows=1024,
+        ht=16,
+        wrs_entries=65536,
+        rs_depth=48,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return BFNeural(config)
+
+
+def bf_neural_32kb(**overrides: object) -> BFNeural:
+    """The 32 KB configuration (halved tables, RS depth 32)."""
+    config = BFNeuralConfig(
+        bst_entries=8192,
+        bias_entries=1024,
+        wm_rows=512,
+        ht=16,
+        wrs_entries=32768,
+        rs_depth=32,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return BFNeural(config)
+
+
+def bf_tage_storage_table(num_tables: int = 10) -> list[tuple[str, int]]:
+    """Regenerate Table I: per-component storage of BF-TAGE, in bytes.
+
+    Returns (component, bytes) rows followed by a "Total" row.
+    """
+    predictor = BFTage(BFTageConfig.for_tables(num_tables))
+    rows: list[tuple[str, int]] = []
+    rows.append(("Base predictor T0", predictor.base.storage_bits() // 8))
+    for i, table in enumerate(predictor.tables):
+        rows.append((f"Tagged table T{i + 1}", table.storage_bits() // 8))
+    rows.append(("BST", predictor.bst.storage_bits() // 8))
+    segment_bits = predictor.segments.storage_bits()
+    ring_bits = predictor.segments.boundaries[-1] * (
+        predictor.segments.hashed_pc_bits + 1 + 1
+    )
+    rows.append(("Unfiltered history ring", ring_bits // 8))
+    rows.append(("Segmented RS entries", (segment_bits - ring_bits) // 8))
+    rows.append(("Total", predictor.storage_bits() // 8))
+    return rows

@@ -1,0 +1,18 @@
+"""One module per table/figure of the paper's evaluation (Section VI).
+
+Every experiment is runnable as ``python -m repro.experiments.<name>``
+and shares the CLI of :mod:`repro.experiments.common` (``--branches``,
+``--categories``, ``--traces``, ``--cache-dir``, ``--output``).
+
+==================  ====================================================
+Module              Paper artifact
+==================  ====================================================
+``fig2_bias``       Figure 2 — % biased branches per trace
+``fig8_mpki``       Figure 8 — MPKI: OH-SNAP vs TAGE vs BF-Neural
+``fig9_ablation``   Figure 9 — contribution of each BF-Neural feature
+``fig10_tables``    Figure 10 — avg MPKI vs number of tagged tables
+``fig11_relative``  Figure 11 — relative improvement vs 10-table TAGE
+``fig12_hits``      Figure 12 — per-table branch-hit histograms
+``table1_storage``  Table I — BF-TAGE storage budget
+==================  ====================================================
+"""

@@ -1,0 +1,53 @@
+"""Figure 2: fraction of dynamic branches that are completely biased.
+
+The paper plots, for each of the 40 CBP-4 traces, the percentage of
+dynamic conditional branches whose static branch resolved in a single
+direction for the whole trace.  This experiment reproduces the plot for
+the synthetic suite with an oracle (whole-trace) classification, plus
+the static-branch view for context.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.experiments.report import format_bar_chart, format_table, write_report
+from repro.trace.stats import compute_stats
+
+
+def run(args) -> str:
+    traces = common.load_traces(args)
+    rows = []
+    labels = []
+    values = []
+    for trace in traces:
+        stats = compute_stats(trace)
+        rows.append(
+            [
+                trace.name,
+                trace.metadata.category,
+                stats.dynamic_branches,
+                stats.static_branches,
+                100.0 * stats.biased_dynamic_fraction,
+                100.0 * stats.biased_static_fraction,
+            ]
+        )
+        labels.append(trace.name)
+        values.append(100.0 * stats.biased_dynamic_fraction)
+    average = sum(values) / len(values)
+    table = format_table(
+        ["trace", "category", "dyn branches", "static", "% biased dyn", "% biased static"],
+        rows,
+        title="Figure 2 — Biased branches per trace",
+    )
+    chart = format_bar_chart(labels, values, unit="%")
+    return f"{table}\n\naverage biased dynamic fraction: {average:.1f}%\n\n{chart}"
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = common.make_parser(__doc__.splitlines()[0])
+    args = parser.parse_args(argv)
+    write_report(run(args), args.output)
+
+
+if __name__ == "__main__":
+    main()

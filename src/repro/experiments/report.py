@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering shared by every experiment."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_bar_chart(
+    labels: list[str], values: list[float], width: int = 50, unit: str = ""
+) -> str:
+    """Render a horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {value:8.3f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def write_report(text: str, output: str | Path | None) -> None:
+    """Print the report and optionally persist it."""
+    print(text)
+    if output is not None:
+        Path(output).write_text(text + "\n")
+        print(f"\n[report written to {output}]")

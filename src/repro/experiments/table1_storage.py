@@ -1,0 +1,63 @@
+"""Table I: storage budget of the 10-table BF-TAGE.
+
+Pure accounting — no simulation.  The paper's total is 51 100 bytes for
+the predictor without its Loop/SC/IUM components; this regenerates the
+breakdown from the model's own ``storage_bits`` methods and compares
+per-component bytes with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.configs import bf_tage_storage_table
+from repro.experiments import common
+from repro.experiments.report import format_table, write_report
+
+#: The paper's Table I, in bytes, for reference columns.
+PAPER_TABLE_I = {
+    "Base predictor T0": 2560,
+    "Tagged table T1": 2816,
+    "Tagged table T2": 2816,
+    "Tagged table T3": 3072,
+    "Tagged table T4": 6656,
+    "Tagged table T5": 7168,
+    "Tagged table T6": 7680,
+    "Tagged table T7": 3840,
+    "Tagged table T8": 4352,
+    "Tagged table T9": 2304,
+    "Tagged table T10": 2432,
+    "BST": 2048,
+    "Unfiltered history ring": 3072,
+    "Segmented RS entries": 284,
+    "Total": 51100,
+}
+
+
+def run(args=None) -> str:
+    rows = []
+    for component, model_bytes in bf_tage_storage_table(10):
+        paper_bytes = PAPER_TABLE_I.get(component, "")
+        rows.append([component, model_bytes, paper_bytes])
+    note = (
+        "\nModel totals run ~10% above the paper because the model keeps\n"
+        "full-width state where ISL-TAGE shares bits: a 2-bit bimodal\n"
+        "entry (vs shared 1.25-bit hysteresis), 2 useful bits per tagged\n"
+        "entry (vs 1), and a 16-bit ring record (vs 14+1+1 packed)."
+    )
+    return (
+        format_table(
+            ["component", "model bytes", "paper bytes"],
+            rows,
+            title="Table I — BF-TAGE (10 tagged tables) storage budget",
+        )
+        + note
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = common.make_parser(__doc__.splitlines()[0])
+    args = parser.parse_args(argv)
+    write_report(run(args), args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The branch predictor interface.
+
+The simulator drives every predictor through the same two calls, in
+commit order for each conditional branch:
+
+1. ``predict(pc)`` — return the predicted direction.  The predictor may
+   cache whatever internal state it needs (selected table, accumulated
+   sum) for the matching ``train`` call; the simulator guarantees strict
+   predict/train alternation for the same branch.
+2. ``train(pc, taken)`` — learn from the resolved outcome and update all
+   history registers.
+
+This mirrors the CBP-4 evaluation discipline (immediate update at
+commit).  Predictors also report their storage budget in bits so
+configurations can be checked against the paper's 32/64 KB budgets, and
+may expose ``provider`` — which component supplied the last prediction —
+for the Figure 12 per-table hit attribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PredictorStats:
+    """Optional per-component accounting a predictor can maintain."""
+
+    provider_hits: dict[str, int] = field(default_factory=dict)
+
+    def count(self, provider: str) -> None:
+        self.provider_hits[provider] = self.provider_hits.get(provider, 0) + 1
+
+
+class BranchPredictor(ABC):
+    """Abstract conditional branch predictor."""
+
+    #: Short display name used by experiment tables.
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc`` (True = taken)."""
+
+    @abstractmethod
+    def train(self, pc: int, taken: bool) -> None:
+        """Observe the resolved outcome of the branch last predicted."""
+
+    def storage_bits(self) -> int:
+        """Model storage cost in bits (0 when a config does not track it)."""
+        return 0
+
+    @property
+    def provider(self) -> str:
+        """Name of the component that supplied the last prediction."""
+        return self.name
+
+    def reset(self) -> None:
+        """Restore power-on state.  Default: rebuild via ``__init__``-set
+        attributes is predictor-specific, so subclasses override when the
+        experiments need mid-run resets (none do by default)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support reset")

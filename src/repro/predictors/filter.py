@@ -1,0 +1,100 @@
+"""The Filter predictor (Chang, Evers & Patt, PACT 1996) — related work.
+
+The paper's §VII contrasts bias-free prediction with this ancestor: the
+Filter predictor attaches a per-branch saturating "hit" counter (in the
+BTB) counting consecutive same-direction outcomes.  Once the counter
+saturates, the branch is predicted with that direction and *excluded
+from the pattern history table* — reducing PHT interference.  Crucially,
+unlike bias-free prediction, filtered branches still shift into the
+global history register; the Filter predictor reduces table pollution
+but does not extend history reach.
+
+Implemented here over a gshare PHT so the contrast can be measured:
+compare with ``examples/custom_predictor.py``'s bias-filtered gshare,
+which also filters the *history*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import is_power_of_two, mask
+from repro.predictors.base import BranchPredictor
+
+
+@dataclass
+class _FilterEntry:
+    direction: bool = False
+    count: int = 0
+
+
+class FilterPredictor(BranchPredictor):
+    """gshare + per-branch consecutive-outcome filter counters."""
+
+    name = "filter-gshare"
+
+    def __init__(
+        self,
+        pht_entries: int = 65536,
+        history_bits: int = 16,
+        filter_entries: int = 4096,
+        saturation: int = 16,
+    ) -> None:
+        if not is_power_of_two(pht_entries):
+            raise ValueError(f"pht_entries must be a power of two, got {pht_entries}")
+        if not is_power_of_two(filter_entries):
+            raise ValueError(
+                f"filter_entries must be a power of two, got {filter_entries}"
+            )
+        if saturation <= 0:
+            raise ValueError(f"saturation must be positive, got {saturation}")
+        self.pht_entries = pht_entries
+        self.history_bits = history_bits
+        self.filter_entries = filter_entries
+        self.saturation = saturation
+        self._pht = [2] * pht_entries
+        self._history = 0
+        self._filter = [_FilterEntry() for _ in range(filter_entries)]
+
+    def _pht_index(self, pc: int) -> int:
+        return (pc ^ self._history) & (self.pht_entries - 1)
+
+    def _entry(self, pc: int) -> _FilterEntry:
+        return self._filter[pc & (self.filter_entries - 1)]
+
+    def _is_filtered(self, pc: int) -> bool:
+        return self._entry(pc).count >= self.saturation
+
+    def predict(self, pc: int) -> bool:
+        entry = self._entry(pc)
+        if entry.count >= self.saturation:
+            return entry.direction
+        return self._pht[self._pht_index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        entry = self._entry(pc)
+        filtered = entry.count >= self.saturation
+
+        # Filter counter: consecutive same-direction outcomes.
+        if entry.count > 0 and entry.direction == taken:
+            if entry.count < self.saturation:
+                entry.count += 1
+        else:
+            entry.direction = taken
+            entry.count = 1
+
+        # Filtered branches do not touch the PHT (interference reduction).
+        if not filtered:
+            index = self._pht_index(pc)
+            value = self._pht[index]
+            if taken and value < 3:
+                self._pht[index] = value + 1
+            elif not taken and value > 0:
+                self._pht[index] = value - 1
+
+        # Unlike bias-free prediction, ALL branches enter the history.
+        self._history = ((self._history << 1) | int(taken)) & mask(self.history_bits)
+
+    def storage_bits(self) -> int:
+        filter_bits = self.filter_entries * (1 + self.saturation.bit_length())
+        return self.pht_entries * 2 + self.history_bits + filter_bits

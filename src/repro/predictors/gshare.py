@@ -1,0 +1,53 @@
+"""gshare: global history XOR pc indexing a 2-bit counter table.
+
+McFarling's classic; included as a mid-tier baseline and as the target of
+several aliasing-oriented tests (biased branches polluting a shared
+pattern history table is the phenomenon the Filter predictor [22] — and
+bias-free prediction — address).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import is_power_of_two, mask
+from repro.predictors.base import BranchPredictor
+
+
+class GShare(BranchPredictor):
+    """Two-bit counter PHT indexed by ``pc XOR global_history``."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 65536, history_bits: int = 16) -> None:
+        if not is_power_of_two(entries):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if history_bits <= 0:
+            raise ValueError(f"history_bits must be positive, got {history_bits}")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._index_mask = entries - 1
+        self._history_mask = mask(history_bits)
+        self._history = 0
+        self._table = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._table[index]
+        if taken:
+            if value < 3:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def storage_bits(self) -> int:
+        return self.entries * 2 + self.history_bits

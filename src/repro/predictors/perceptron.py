@@ -1,0 +1,65 @@
+"""The classic global perceptron predictor (Jimenez & Lin, HPCA 2001).
+
+A PC-indexed table of perceptrons; each perceptron dots its signed
+weights with the global history (as a ±1 vector) plus a bias weight, and
+trains on a misprediction or when the output magnitude is below the
+threshold θ = 1.93·h + 14.
+
+The weight table lives in a numpy array so the h-wide dot product and
+update are single vectorized operations — the only way a pure-Python
+trace-driven simulation of neural predictors stays tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitops import is_power_of_two
+from repro.predictors.base import BranchPredictor
+
+_WEIGHT_MIN = -128
+_WEIGHT_MAX = 127
+
+
+class GlobalPerceptron(BranchPredictor):
+    """Perceptron predictor over the last ``history_length`` outcomes."""
+
+    name = "perceptron"
+
+    def __init__(self, rows: int = 512, history_length: int = 32) -> None:
+        if not is_power_of_two(rows):
+            raise ValueError(f"rows must be a power of two, got {rows}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        self.rows = rows
+        self.history_length = history_length
+        self.theta = int(1.93 * history_length + 14)
+        self._row_mask = rows - 1
+        # Column 0 is the bias weight; columns 1..h are history weights.
+        self._weights = np.zeros((rows, history_length + 1), dtype=np.int32)
+        self._history = np.ones(history_length, dtype=np.int32)  # ±1, index 0 newest
+        self._last_row = 0
+        self._last_sum = 0
+
+    def predict(self, pc: int) -> bool:
+        row = pc & self._row_mask
+        weights = self._weights[row]
+        total = int(weights[0]) + int(np.dot(weights[1:], self._history))
+        self._last_row = row
+        self._last_sum = total
+        return total >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        predicted_taken = self._last_sum >= 0
+        if predicted_taken != taken or abs(self._last_sum) <= self.theta:
+            weights = self._weights[self._last_row]
+            t = 1 if taken else -1
+            weights[0] = min(_WEIGHT_MAX, max(_WEIGHT_MIN, int(weights[0]) + t))
+            updated = weights[1:] + t * self._history
+            np.clip(updated, _WEIGHT_MIN, _WEIGHT_MAX, out=weights[1:])
+        # Shift history: newest at index 0.
+        self._history[1:] = self._history[:-1]
+        self._history[0] = 1 if taken else -1
+
+    def storage_bits(self) -> int:
+        return self.rows * (self.history_length + 1) * 8 + self.history_length

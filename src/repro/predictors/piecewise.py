@@ -1,0 +1,108 @@
+"""Piecewise-linear branch prediction (Jimenez, ISCA 2005).
+
+This is the paper's "Conventional Perceptron" baseline (Figure 9,
+leftmost bar): for every history position ``i`` the weight is selected
+not only by the current branch's address but also by the address of the
+branch that *occupies* position ``i`` of the path history — giving a
+piecewise-linear decision surface per branch.
+
+Output:
+
+    out = B[pc] + Σ_i  W[pc mod n][i][path_i mod m] · h_i
+
+where ``path_i`` is the pc of the i-th most recent branch and ``h_i`` its
+±1 outcome.  Training is perceptron-style with θ = 2.14·(h+1) + 20.7
+(Jimenez's published constant for piecewise-linear).
+
+The paper's Figure 9 baseline uses a history length of 72 to fit a 64 KB
+budget; :func:`conventional_perceptron_64kb` builds that configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitops import is_power_of_two
+from repro.predictors.base import BranchPredictor
+
+_WEIGHT_MIN = -128
+_WEIGHT_MAX = 127
+
+
+class PiecewiseLinear(BranchPredictor):
+    """Piecewise-linear neural predictor with (pc, position, path) weights."""
+
+    name = "piecewise-linear"
+
+    def __init__(
+        self,
+        pc_rows: int = 8,
+        path_columns: int = 128,
+        history_length: int = 72,
+        bias_entries: int = 2048,
+    ) -> None:
+        if not is_power_of_two(pc_rows):
+            raise ValueError(f"pc_rows must be a power of two, got {pc_rows}")
+        if path_columns <= 0:
+            raise ValueError(f"path_columns must be positive, got {path_columns}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        if not is_power_of_two(bias_entries):
+            raise ValueError(f"bias_entries must be a power of two, got {bias_entries}")
+        self.pc_rows = pc_rows
+        self.path_columns = path_columns
+        self.history_length = history_length
+        self.bias_entries = bias_entries
+        self.theta = int(2.14 * (history_length + 1) + 20.7)
+        # weights[pc_row, i, path_col]
+        self._weights = np.zeros(
+            (pc_rows, history_length, path_columns), dtype=np.int32
+        )
+        self._bias = np.zeros(bias_entries, dtype=np.int32)
+        self._history = np.ones(history_length, dtype=np.int32)
+        self._path = np.zeros(history_length, dtype=np.int64)  # pc mod columns
+        self._positions = np.arange(history_length)
+        self._last_sum = 0
+        self._last_row = 0
+        self._last_bias_index = 0
+
+    def predict(self, pc: int) -> bool:
+        row = pc & (self.pc_rows - 1)
+        bias_index = pc & (self.bias_entries - 1)
+        selected = self._weights[row, self._positions, self._path]
+        total = int(self._bias[bias_index]) + int(np.dot(selected, self._history))
+        self._last_sum = total
+        self._last_row = row
+        self._last_bias_index = bias_index
+        return total >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        predicted_taken = self._last_sum >= 0
+        if predicted_taken != taken or abs(self._last_sum) <= self.theta:
+            t = 1 if taken else -1
+            bias_index = self._last_bias_index
+            self._bias[bias_index] = min(
+                _WEIGHT_MAX, max(_WEIGHT_MIN, int(self._bias[bias_index]) + t)
+            )
+            row = self._weights[self._last_row]
+            selected = row[self._positions, self._path] + t * self._history
+            np.clip(selected, _WEIGHT_MIN, _WEIGHT_MAX, out=selected)
+            row[self._positions, self._path] = selected
+        # Shift path/outcome history (index 0 = newest).
+        self._history[1:] = self._history[:-1]
+        self._history[0] = 1 if taken else -1
+        self._path[1:] = self._path[:-1]
+        self._path[0] = pc % self.path_columns
+
+    def storage_bits(self) -> int:
+        weight_bits = self.pc_rows * self.history_length * self.path_columns * 8
+        bias_bits = self.bias_entries * 8
+        history_bits = self.history_length * (1 + 8)  # outcome + hashed path pc
+        return weight_bits + bias_bits + history_bits
+
+
+def conventional_perceptron_64kb() -> PiecewiseLinear:
+    """The Figure 9 baseline: piecewise-linear, history 72, ~64 KB."""
+    return PiecewiseLinear(
+        pc_rows=64, path_columns=14, history_length=72, bias_entries=2048
+    )

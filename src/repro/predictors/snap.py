@@ -1,0 +1,121 @@
+"""An OH-SNAP-style optimized scaled neural predictor (Jimenez, ICCD 2011).
+
+The paper's Figure 8 neural baseline.  Relative to the classic
+perceptron, this predictor:
+
+* hashes (branch pc, path pc, depth) into shared per-depth weight arrays
+  so a long history (128 here) fits a modest budget;
+* scales each depth's contribution by an inverse-linear coefficient
+  f(i) = F / (F + i), modelling the analog summation of SNAP — recent
+  history weighs more than distant history;
+* trains with an *adaptive* threshold (Seznec's TC scheme) instead of a
+  fixed θ.
+
+It remains an unfiltered-history predictor: its reach is bounded by its
+128 history positions, which is exactly the limitation Bias-Free
+prediction removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitops import is_power_of_two
+from repro.predictors.base import BranchPredictor
+
+_WEIGHT_MIN = -128
+_WEIGHT_MAX = 127
+
+
+class ScaledNeural(BranchPredictor):
+    """Hashed, coefficient-scaled neural predictor with adaptive θ."""
+
+    name = "oh-snap"
+
+    def __init__(
+        self,
+        columns: int = 512,
+        history_length: int = 128,
+        bias_entries: int = 4096,
+        scale_fulcrum: float = 24.0,
+    ) -> None:
+        if not is_power_of_two(columns):
+            raise ValueError(f"columns must be a power of two, got {columns}")
+        if not is_power_of_two(bias_entries):
+            raise ValueError(f"bias_entries must be a power of two, got {bias_entries}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        self.columns = columns
+        self.history_length = history_length
+        self.bias_entries = bias_entries
+        self._weights = np.zeros((history_length, columns), dtype=np.int32)
+        self._bias = np.zeros(bias_entries, dtype=np.int32)
+        self._history = np.ones(history_length, dtype=np.int32)
+        self._path = np.zeros(history_length, dtype=np.int64)
+        self._positions = np.arange(history_length)
+        self._scale = scale_fulcrum / (scale_fulcrum + np.arange(history_length))
+        # Adaptive threshold state (TC counter, Seznec O-GEHL style).  The
+        # classic 2.14·(h+1)+20.7 formula assumes unscaled ±1 inputs; with
+        # coefficient scaling the achievable |sum| shrinks by the mean
+        # coefficient, so θ starts proportional to Σf(i) instead —
+        # otherwise training never converges and weights churn forever.
+        self.theta = int(2.0 * float(self._scale.sum()) + 16)
+        self._tc = 0
+        self._last_sum = 0.0
+        self._last_cols = np.zeros(history_length, dtype=np.int64)
+        self._last_bias_index = 0
+
+    def _column_indices(self, pc: int) -> np.ndarray:
+        # Hash pc with the path pc at each depth and the depth itself.
+        pc_mix = (pc * 0x9E3779B1) & 0x3FFF_FFFF_FFFF  # keep within int64
+        mixed = pc_mix ^ (self._path * 0x85EBCA77) ^ (self._positions << 7)
+        return mixed & (self.columns - 1)
+
+    def predict(self, pc: int) -> bool:
+        cols = self._column_indices(pc)
+        bias_index = pc & (self.bias_entries - 1)
+        selected = self._weights[self._positions, cols]
+        total = float(self._bias[bias_index]) + float(
+            np.dot(selected * self._history, self._scale)
+        )
+        self._last_sum = total
+        self._last_cols = cols
+        self._last_bias_index = bias_index
+        return total >= 0.0
+
+    def train(self, pc: int, taken: bool) -> None:
+        predicted_taken = self._last_sum >= 0.0
+        mispredicted = predicted_taken != taken
+        if mispredicted or abs(self._last_sum) <= self.theta:
+            t = 1 if taken else -1
+            bias_index = self._last_bias_index
+            self._bias[bias_index] = min(
+                _WEIGHT_MAX, max(_WEIGHT_MIN, int(self._bias[bias_index]) + t)
+            )
+            selected = self._weights[self._positions, self._last_cols]
+            updated = selected + t * self._history
+            np.clip(updated, _WEIGHT_MIN, _WEIGHT_MAX, out=updated)
+            self._weights[self._positions, self._last_cols] = updated
+            # Adaptive threshold: grow on mispredictions, shrink on
+            # low-confidence correct predictions (keeps the two balanced).
+            if mispredicted:
+                self._tc += 1
+                if self._tc >= 7:
+                    self._tc = 0
+                    self.theta += 1
+            else:
+                self._tc -= 1
+                if self._tc <= -7:
+                    self._tc = 0
+                    if self.theta > 1:
+                        self.theta -= 1
+        self._history[1:] = self._history[:-1]
+        self._history[0] = 1 if taken else -1
+        self._path[1:] = self._path[:-1]
+        self._path[0] = pc & 0xFFFF
+
+    def storage_bits(self) -> int:
+        weight_bits = self.history_length * self.columns * 8
+        bias_bits = self.bias_entries * 8
+        history_bits = self.history_length * (1 + 16)
+        return weight_bits + bias_bits + history_bits

@@ -1,0 +1,63 @@
+"""Trivial reference predictors: always-taken and bimodal.
+
+These anchor the accuracy scale in examples and tests, and the bimodal
+table doubles as TAGE's tagless base predictor component.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import is_power_of_two
+from repro.predictors.base import BranchPredictor
+
+
+class AlwaysTaken(BranchPredictor):
+    """Predict taken unconditionally — the floor every table must beat."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def train(self, pc: int, taken: bool) -> None:
+        return None
+
+
+class Bimodal(BranchPredictor):
+    """A PC-indexed table of 2-bit saturating counters.
+
+    Counters are stored as plain ints (0..3) for speed; >=2 predicts
+    taken.  This is also the exact structure of TAGE's base predictor T0.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 16384, counter_bits: int = 2) -> None:
+        if not is_power_of_two(entries):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if counter_bits <= 0:
+            raise ValueError(f"counter_bits must be positive, got {counter_bits}")
+        self.entries = entries
+        self.counter_bits = counter_bits
+        self._mask = entries - 1
+        self._max = (1 << counter_bits) - 1
+        self._threshold = 1 << (counter_bits - 1)
+        self._table = [self._threshold] * entries  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._table[pc & self._mask] >= self._threshold
+
+    def train(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        value = self._table[index]
+        if taken:
+            if value < self._max:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1
+
+    def counter(self, pc: int) -> int:
+        """Raw counter value for the entry ``pc`` maps to (for tests)."""
+        return self._table[pc & self._mask]
+
+    def storage_bits(self) -> int:
+        return self.entries * self.counter_bits

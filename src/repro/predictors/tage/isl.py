@@ -1,0 +1,132 @@
+"""ISL-TAGE: TAGE augmented with the loop predictor and statistical
+corrector (Seznec, CBP-3), the exact baseline of Figures 8, 10 and 11.
+
+Components on top of :class:`~repro.predictors.tage.tage.Tage`:
+
+* **Loop predictor (L)** — a 64-entry skewed-associative trip-count
+  table; its prediction overrides TAGE when it is confident and a
+  ``WITHLOOP`` counter says trusting it has been profitable.
+* **Statistical corrector (SC)** — a small array of wide counters
+  indexed by (pc, TAGE direction).  It catches statistically biased
+  cases where TAGE's tag-matched prediction is reliably wrong and
+  reverts the prediction.  Only consulted when the TAGE output is weak.
+* **Immediate update mimicker (IUM)** — in the CBP framework the IUM
+  replays not-yet-committed in-flight predictions to mimic immediate
+  updates.  This simulator *is* immediate-update (train follows predict
+  with no branches in flight), so the IUM is the identity here; it is
+  documented rather than modelled.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.tage.tage import Tage, TageConfig
+
+_SC_MAX = 31
+_SC_MIN = -32
+
+
+class ISLTage(BranchPredictor):
+    """ISL-TAGE = TAGE + loop predictor + statistical corrector."""
+
+    name = "isl-tage"
+
+    def __init__(
+        self,
+        config: TageConfig | None = None,
+        with_loop_predictor: bool = True,
+        with_statistical_corrector: bool = True,
+        sc_entries: int = 4096,
+        core: Tage | None = None,
+    ) -> None:
+        # ``core`` lets BF-ISL-TAGE reuse this overlay around a BFTage.
+        self.tage = core if core is not None else Tage(config)
+        self.with_loop_predictor = with_loop_predictor
+        self.with_statistical_corrector = with_statistical_corrector
+        self.loop = LoopPredictor() if with_loop_predictor else None
+        self._withloop = -1  # signed confidence that the loop predictor helps
+        self._sc = [0] * sc_entries if with_statistical_corrector else []
+        self._sc_mask = sc_entries - 1
+        # Per-prediction scratch.
+        self._last_tage_pred = False
+        self._last_loop_pred = False
+        self._last_loop_valid = False
+        self._last_sc_index = 0
+        self._last_sc_used = False
+        self._last_pred = False
+        self._last_provider_name = "base"
+
+    def predict(self, pc: int) -> bool:
+        tage_pred = self.tage.predict(pc)
+        prediction = tage_pred
+        provider_name = self.tage.provider
+
+        sc_used = False
+        sc_index = 0
+        if self.with_statistical_corrector:
+            sc_index = ((pc << 1) | int(tage_pred)) & self._sc_mask
+            # Only correct weak, newly allocated provider entries — the
+            # case ISL-TAGE's SC targets.
+            if self.tage._last_weak_provider:
+                counter = self._sc[sc_index]
+                if counter <= -8 and prediction:
+                    prediction = False
+                    sc_used = True
+                elif counter >= 8 and not prediction:
+                    prediction = True
+                    sc_used = True
+
+        loop_pred = False
+        loop_valid = False
+        if self.loop is not None:
+            loop_pred, loop_valid = self.loop.lookup(pc)
+            if loop_valid and self._withloop >= 0:
+                prediction = loop_pred
+                provider_name = "loop"
+
+        self._last_tage_pred = tage_pred
+        self._last_loop_pred = loop_pred
+        self._last_loop_valid = loop_valid
+        self._last_sc_index = sc_index
+        self._last_sc_used = sc_used
+        self._last_pred = prediction
+        self._last_provider_name = "sc" if sc_used and provider_name != "loop" else provider_name
+        return prediction
+
+    @property
+    def provider(self) -> str:
+        return self._last_provider_name
+
+    @property
+    def provider_table(self) -> int:
+        """1-based TAGE provider table (0 = base), ignoring loop/SC."""
+        return self.tage.provider_table
+
+    def train(self, pc: int, taken: bool) -> None:
+        if self.loop is not None:
+            if self._last_loop_valid and self._last_loop_pred != self._last_tage_pred:
+                # Reward whichever component was right.
+                if self._last_loop_pred == taken:
+                    if self._withloop < 63:
+                        self._withloop += 1
+                elif self._withloop > -64:
+                    self._withloop -= 1
+            self.loop.update(pc, taken, allocate=self._last_pred != taken)
+        if self.with_statistical_corrector:
+            index = self._last_sc_index
+            counter = self._sc[index]
+            if taken:
+                if counter < _SC_MAX:
+                    self._sc[index] = counter + 1
+            elif counter > _SC_MIN:
+                self._sc[index] = counter - 1
+        self.tage.train(pc, taken)
+
+    def storage_bits(self) -> int:
+        bits = self.tage.storage_bits()
+        if self.loop is not None:
+            bits += self.loop.storage_bits()
+        if self.with_statistical_corrector:
+            bits += len(self._sc) * 6
+        return bits

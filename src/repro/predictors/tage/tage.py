@@ -1,0 +1,324 @@
+"""Conventional TAGE (Seznec & Michaud; configuration per ISL-TAGE).
+
+A bimodal base predictor T0 is backed by N partially tagged tables
+T1..TN indexed with geometrically increasing history lengths
+L(i) = round(L1 · α^(i-1)).  The longest history table whose tag matches
+provides the prediction; the next matching table (or the base) provides
+the alternate.  Entries are allocated on mispredictions on tables with
+longer history than the provider, steered by useful bits.
+
+The 10-table and 15-table configurations use the history length sets the
+paper quotes (§VI-C and footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import mask
+from repro.common.rng import XorShift64
+from repro.predictors.base import BranchPredictor
+from repro.predictors.static_ import Bimodal
+from repro.predictors.tage.components import FoldedIndexSet, TaggedTable
+
+#: Maximum geometric history length per tagged-table count, anchoring the
+#: sweep of Figure 10.  The 10- and 15-table entries match the paper's
+#: quoted ISL-TAGE history sets; intermediate counts interpolate.
+MAX_HISTORY_BY_TABLES = {
+    4: 26,
+    5: 40,
+    6: 54,
+    7: 70,
+    8: 94,
+    9: 130,
+    10: 195,
+    11: 330,
+    12: 517,
+    13: 800,
+    14: 1200,
+    15: 1930,
+}
+
+#: The exact 15-table ISL-TAGE history lengths from the paper's footnote.
+ISL_15_TABLE_LENGTHS = [3, 8, 12, 17, 33, 35, 67, 97, 138, 195, 330, 517, 1193, 1741, 1930]
+
+
+def geometric_lengths(num_tables: int, l1: int = 3, lmax: int | None = None) -> list[int]:
+    """History lengths L(i) = round(L1 · α^(i-1)) hitting ``lmax`` at i=N."""
+    if num_tables < 1:
+        raise ValueError(f"need at least one tagged table, got {num_tables}")
+    if lmax is None:
+        try:
+            lmax = MAX_HISTORY_BY_TABLES[num_tables]
+        except KeyError:
+            raise ValueError(
+                f"no default max history for {num_tables} tables; pass lmax"
+            ) from None
+    if num_tables == 1:
+        return [l1]
+    if num_tables == 15 and l1 == 3 and lmax == 1930:
+        return list(ISL_15_TABLE_LENGTHS)
+    alpha = (lmax / l1) ** (1.0 / (num_tables - 1))
+    lengths = []
+    for i in range(num_tables):
+        length = int(round(l1 * alpha**i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths
+
+
+def _default_sizing(num_tables: int) -> tuple[list[int], list[int]]:
+    """(log2 entries, tag bits) per tagged table, ISL-TAGE-style.
+
+    The 10-table sizing follows Table I of the paper (2,2,2,4,4,4,2,2,1,1
+    Kentries; tags 7..15); other counts spread a similar budget so every
+    Figure 10 point compares equal-storage predictors.
+    """
+    if num_tables == 10:
+        log2 = [11, 11, 11, 12, 12, 12, 11, 11, 10, 10]
+        tags = [7, 7, 8, 9, 10, 11, 11, 13, 14, 15]
+        return log2, tags
+    # Spread tags 7..15 across the tables; middle tables get more entries.
+    # Larger table counts shrink per-table entries so the total budget
+    # stays near 64 KB (the CBP ISL-TAGE uses ~1K-entry tables at 15).
+    tags = [7 + round(8 * i / max(1, num_tables - 1)) for i in range(num_tables)]
+    base = 10 if num_tables >= 12 else 11
+    log2 = []
+    for i in range(num_tables):
+        position = i / max(1, num_tables - 1)
+        log2.append(base + 1 if 0.25 <= position <= 0.6 else base)
+    return log2, tags
+
+
+@dataclass
+class TageConfig:
+    """Structural parameters of a TAGE predictor."""
+
+    num_tables: int = 10
+    base_log2_entries: int = 14
+    history_lengths: list[int] = field(default_factory=list)
+    log2_entries: list[int] = field(default_factory=list)
+    tag_bits: list[int] = field(default_factory=list)
+    path_bits: int = 16
+    useful_reset_period: int = 1 << 14
+    seed: int = 0x7A6E
+
+    def __post_init__(self) -> None:
+        if not self.history_lengths:
+            self.history_lengths = geometric_lengths(self.num_tables)
+        if not self.log2_entries or not self.tag_bits:
+            log2, tags = _default_sizing(self.num_tables)
+            self.log2_entries = self.log2_entries or log2
+            self.tag_bits = self.tag_bits or tags
+        lists = (self.history_lengths, self.log2_entries, self.tag_bits)
+        if {len(values) for values in lists} != {self.num_tables}:
+            raise ValueError(
+                "history_lengths, log2_entries and tag_bits must all have "
+                f"num_tables={self.num_tables} elements, got lengths "
+                f"{[len(values) for values in lists]}"
+            )
+        if self.history_lengths != sorted(self.history_lengths):
+            raise ValueError(f"history lengths must increase: {self.history_lengths}")
+
+    @classmethod
+    def for_tables(cls, num_tables: int) -> "TageConfig":
+        return cls(num_tables=num_tables)
+
+
+class Tage(BranchPredictor):
+    """Conventional TAGE over the raw (unfiltered) global history."""
+
+    name = "tage"
+
+    def __init__(self, config: TageConfig | None = None) -> None:
+        self.config = config if config is not None else TageConfig()
+        cfg = self.config
+        self.base = Bimodal(entries=1 << cfg.base_log2_entries)
+        self.tables = [
+            TaggedTable(cfg.log2_entries[i], cfg.tag_bits[i], cfg.history_lengths[i])
+            for i in range(cfg.num_tables)
+        ]
+        self._folds = [
+            FoldedIndexSet(
+                cfg.history_lengths[i], cfg.log2_entries[i], cfg.tag_bits[i]
+            )
+            for i in range(cfg.num_tables)
+        ]
+        max_history = cfg.history_lengths[-1]
+        self._history_buffer = [0] * (max_history + 1)
+        self._history_head = 0
+        self._history_capacity = max_history + 1
+        self._path_history = 0
+        self._rng = XorShift64(cfg.seed)
+        self._use_alt_on_na = 8  # 4-bit counter, midpoint
+        self._branch_count = 0
+        # Per-prediction scratch, consumed by train().
+        self._last_indices: list[int] = [0] * cfg.num_tables
+        self._last_tags: list[int] = [0] * cfg.num_tables
+        self._last_provider = -1  # -1 = base predictor
+        self._last_alt = -1
+        self._last_provider_pred = False
+        self._last_alt_pred = False
+        self._last_pred = False
+        self._last_weak_provider = False
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _compute_indices(self, pc: int) -> None:
+        path = self._path_history & mask(self.config.path_bits)
+        for i, table in enumerate(self.tables):
+            folds = self._folds[i]
+            self._last_indices[i] = table.index_of(pc, folds.index_fold.value, path)
+            self._last_tags[i] = table.tag_of(
+                pc, folds.tag_fold_1.value, folds.tag_fold_2.value
+            )
+
+    def predict(self, pc: int) -> bool:
+        self._compute_indices(pc)
+        provider = -1
+        alt = -1
+        for i in range(len(self.tables) - 1, -1, -1):
+            if self.tables[i].tag[self._last_indices[i]] == self._last_tags[i]:
+                if provider < 0:
+                    provider = i
+                else:
+                    alt = i
+                    break
+        base_pred = self.base.predict(pc)
+        if provider >= 0:
+            table = self.tables[provider]
+            index = self._last_indices[provider]
+            provider_pred = table.predict_at(index)
+            alt_pred = (
+                self.tables[alt].predict_at(self._last_indices[alt])
+                if alt >= 0
+                else base_pred
+            )
+            weak = table.is_weak(index) and table.useful[index] == 0
+            if weak and self._use_alt_on_na >= 8:
+                prediction = alt_pred
+            else:
+                prediction = provider_pred
+            self._last_weak_provider = weak
+            self._last_provider_pred = provider_pred
+            self._last_alt_pred = alt_pred
+        else:
+            prediction = base_pred
+            self._last_weak_provider = False
+            self._last_provider_pred = base_pred
+            self._last_alt_pred = base_pred
+        self._last_provider = provider
+        self._last_alt = alt
+        self._last_pred = prediction
+        return prediction
+
+    @property
+    def provider(self) -> str:
+        """Component that provided the last prediction (Figure 12)."""
+        if self._last_provider < 0:
+            return "base"
+        return f"T{self._last_provider + 1}"
+
+    @property
+    def provider_table(self) -> int:
+        """1-based provider table number; 0 for the base predictor."""
+        return self._last_provider + 1
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, taken: bool) -> None:
+        provider = self._last_provider
+        mispredicted = self._last_pred != taken
+
+        if provider >= 0:
+            table = self.tables[provider]
+            index = self._last_indices[provider]
+            # Track whether alt-on-weak is the better policy.
+            if self._last_weak_provider and self._last_provider_pred != self._last_alt_pred:
+                if self._last_provider_pred == taken and self._use_alt_on_na > 0:
+                    self._use_alt_on_na -= 1
+                elif self._last_alt_pred == taken and self._use_alt_on_na < 15:
+                    self._use_alt_on_na += 1
+            table.update_ctr(index, taken)
+            if self._last_provider_pred != self._last_alt_pred:
+                table.update_useful(index, self._last_provider_pred == taken)
+            # A weak provider lets the alternate keep learning.
+            if table.is_weak(index):
+                if self._last_alt >= 0:
+                    self.tables[self._last_alt].update_ctr(
+                        self._last_indices[self._last_alt], taken
+                    )
+                else:
+                    self.base.train(pc, taken)
+        else:
+            self.base.train(pc, taken)
+
+        if mispredicted and provider < len(self.tables) - 1:
+            self._allocate(provider, taken)
+
+        self._advance_histories(pc, taken)
+        self._branch_count += 1
+        if self._branch_count % self.config.useful_reset_period == 0:
+            for table in self.tables:
+                table.age_useful()
+
+    def _allocate(self, provider: int, taken: bool) -> None:
+        """Install entries on (usually one) longer-history tables."""
+        start = provider + 1
+        candidates = [
+            i
+            for i in range(start, len(self.tables))
+            if self.tables[i].useful[self._last_indices[i]] == 0
+        ]
+        if not candidates:
+            for i in range(start, len(self.tables)):
+                self.tables[i].update_useful(self._last_indices[i], False)
+            return
+        # Prefer shorter history (probabilistically skip with 1/2 chance),
+        # the standard TAGE anti-ping-pong allocation.
+        chosen = candidates[0]
+        for candidate in candidates[1:]:
+            if self._rng.chance(1, 2):
+                break
+            chosen = candidate
+        table = self.tables[chosen]
+        table.allocate(self._last_indices[chosen], self._last_tags[chosen], taken)
+        # Probabilistically allocate a second entry two or more tables
+        # deeper (TAGE-SC-L style) — speeds convergence on long-history
+        # patterns without doubling the allocation pollution.
+        if self._rng.chance(1, 2):
+            for candidate in candidates:
+                if candidate >= chosen + 2:
+                    second = self.tables[candidate]
+                    second.allocate(
+                        self._last_indices[candidate], self._last_tags[candidate], taken
+                    )
+                    break
+
+    def _advance_histories(self, pc: int, taken: bool) -> None:
+        incoming = 1 if taken else 0
+        head = self._history_head
+        buffer = self._history_buffer
+        capacity = self._history_capacity
+        for i, folds in enumerate(self._folds):
+            length = folds.history_length
+            outgoing = buffer[(head - length) % capacity]
+            folds.update(incoming, outgoing)
+        buffer[head % capacity] = incoming
+        self._history_head = (head + 1) % capacity
+        self._path_history = ((self._path_history << 1) | (pc & 1)) & mask(
+            self.config.path_bits
+        )
+
+    def storage_bits(self) -> int:
+        bits = self.base.storage_bits()
+        for table in self.tables:
+            bits += table.storage_bits()
+        bits += self.config.history_lengths[-1]  # global history register
+        bits += self.config.path_bits
+        return bits

@@ -1,0 +1,151 @@
+"""Per-prediction storage-access accounting (the paper's energy argument).
+
+The paper motivates BF-TAGE by power: "a sizable number of table accesses
+every processor cycle can potentially lead to considerable power
+consumption per prediction" (§V), and branch prediction is 12-15% of core
+energy on mobile parts (§VI-C).  This module gives every predictor an
+*access model*: how many SRAM arrays are read per prediction, how many
+bits each read touches, and a simple energy proxy
+
+    energy ∝ Σ_arrays  reads · (bits_per_entry · √entries)
+
+using the standard approximation that SRAM read energy grows with the
+row width times the square root of the array size (bitline length).
+
+The numbers are architectural proxies, not circuit simulations; they are
+meant to *rank* configurations — a 10-table BF-TAGE vs a 15-table TAGE —
+the way the paper's argument does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One SRAM array touched during a prediction."""
+
+    name: str
+    entries: int
+    entry_bits: int
+    reads_per_prediction: float = 1.0
+
+    @property
+    def energy_units(self) -> float:
+        """Relative read energy: row bits x bitline-length proxy."""
+        return self.reads_per_prediction * self.entry_bits * (self.entries**0.5)
+
+
+@dataclass
+class AccessProfile:
+    """The set of arrays a predictor reads on every prediction."""
+
+    predictor_name: str
+    arrays: list[ArrayAccess] = field(default_factory=list)
+
+    def add(self, name: str, entries: int, entry_bits: int, reads: float = 1.0) -> None:
+        self.arrays.append(ArrayAccess(name, entries, entry_bits, reads))
+
+    @property
+    def total_reads(self) -> float:
+        return sum(array.reads_per_prediction for array in self.arrays)
+
+    @property
+    def total_bits_read(self) -> float:
+        return sum(
+            array.reads_per_prediction * array.entry_bits for array in self.arrays
+        )
+
+    @property
+    def energy_units(self) -> float:
+        return sum(array.energy_units for array in self.arrays)
+
+
+def profile_tage(predictor) -> AccessProfile:
+    """Access profile of a (BF-)TAGE: base + every tagged table + extras."""
+    profile = AccessProfile(predictor.name)
+    profile.add("base-bimodal", predictor.base.entries, predictor.base.counter_bits)
+    for i, table in enumerate(predictor.tables):
+        profile.add(f"T{i + 1}", table.entries, 3 + table.tag_bits + 2)
+    bst = getattr(predictor, "bst", None)
+    if bst is not None:
+        profile.add("bst", bst.entries, 3 if bst.probabilistic else 2)
+    return profile
+
+
+def profile_isl(predictor) -> AccessProfile:
+    """Access profile of an ISL overlay: inner TAGE + loop + SC."""
+    profile = profile_tage(predictor.tage)
+    profile.predictor_name = predictor.name
+    if predictor.loop is not None:
+        profile.add("loop", predictor.loop.entries, 48, reads=predictor.loop.ways)
+    if predictor.with_statistical_corrector:
+        profile.add("sc", len(predictor._sc), 6)
+    return profile
+
+
+def profile_bf_neural(predictor) -> AccessProfile:
+    """Access profile of BF-Neural.
+
+    The BST is read first; *biased* branches stop there, so the weight
+    arrays' per-prediction read counts are scaled by the non-biased
+    fraction of predictions (measured at run time via ``bst``).
+    """
+    config = predictor.config
+    profile = AccessProfile(predictor.name)
+    profile.add("bst", config.bst_entries, 3 if config.probabilistic_bst else 2)
+    non_biased = max(0.05, predictor.bst.non_biased_fraction())
+    profile.add("wb", config.bias_entries, config.weight_bits, reads=non_biased)
+    profile.add(
+        "wm",
+        config.wm_rows,
+        config.weight_bits,
+        reads=non_biased * config.ht,
+    )
+    profile.add(
+        "wrs",
+        config.wrs_entries,
+        config.weight_bits,
+        reads=non_biased * config.rs_depth,
+    )
+    if predictor.loop is not None:
+        profile.add("loop", predictor.loop.entries, 48, reads=non_biased * predictor.loop.ways)
+    return profile
+
+
+def profile_scaled_neural(predictor) -> AccessProfile:
+    """Access profile of the hashed scaled-neural predictor: one weight
+    read per history position plus the bias table."""
+    profile = AccessProfile(predictor.name)
+    profile.add("bias", predictor.bias_entries, 8)
+    profile.add(
+        "weights",
+        predictor.columns,
+        8,
+        reads=predictor.history_length,
+    )
+    return profile
+
+
+def profile_of(predictor) -> AccessProfile:
+    """Dispatch to the right profiler for any library predictor."""
+    from repro.core.bfneural import BFNeural
+    from repro.predictors.snap import ScaledNeural
+    from repro.predictors.tage.isl import ISLTage
+    from repro.predictors.tage.tage import Tage
+
+    if isinstance(predictor, BFNeural):
+        return profile_bf_neural(predictor)
+    if isinstance(predictor, ScaledNeural):
+        return profile_scaled_neural(predictor)
+    if isinstance(predictor, ISLTage):
+        return profile_isl(predictor)
+    if isinstance(predictor, Tage):
+        return profile_tage(predictor)
+    profile = AccessProfile(predictor.name)
+    bits = predictor.storage_bits()
+    if bits:
+        # Generic single-array model.
+        profile.add("table", max(1, bits // 8), 8)
+    return profile

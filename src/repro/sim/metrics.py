@@ -1,0 +1,54 @@
+"""Simulation result records and aggregation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one predictor over one trace.
+
+    ``provider_hits`` maps component names ("base", "T3", "loop", ...) to
+    the number of predictions that component supplied — the raw data for
+    Figure 12's per-table hit histograms.
+    """
+
+    trace_name: str
+    predictor_name: str
+    branches: int
+    instructions: int
+    mispredictions: int
+    provider_hits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per 1000 instructions — the paper's metric."""
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per dynamic branch."""
+        if self.branches == 0:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    def provider_fraction(self, provider: str) -> float:
+        """Share of predictions supplied by ``provider``."""
+        if self.branches == 0:
+            return 0.0
+        return self.provider_hits.get(provider, 0) / self.branches
+
+
+def aggregate_mpki(results: list[SimulationResult]) -> float:
+    """Arithmetic-mean MPKI across traces, as the paper reports."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    return sum(result.mpki for result in results) / len(results)
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """Relative MPKI improvement (positive = ``improved`` is better)."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline

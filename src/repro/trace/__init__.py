@@ -1,0 +1,23 @@
+"""Trace substrate: branch records, a compact binary trace format, statistics.
+
+The paper evaluates with the CBP-4 trace-driven framework; its traces are
+streams of conditional-branch (pc, outcome) events plus an instruction
+count used for the MPKI denominator.  This package provides the same
+abstraction: an in-memory ``Trace``, a compact on-disk format, and the
+statistics (biased-branch fraction, working set, correlation distances)
+used by Figure 2 and the workload calibration.
+"""
+
+from repro.trace.records import BranchRecord, Trace, TraceMetadata
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stats import TraceStats, compute_stats
+
+__all__ = [
+    "BranchRecord",
+    "Trace",
+    "TraceMetadata",
+    "TraceStats",
+    "compute_stats",
+    "read_trace",
+    "write_trace",
+]

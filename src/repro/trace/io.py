@@ -1,0 +1,124 @@
+"""Compact binary trace format.
+
+Layout (little-endian):
+
+* magic ``b"BFBP"`` and a format version byte,
+* a JSON metadata block (length-prefixed) holding ``TraceMetadata``,
+* the branch count as a u64,
+* the pc stream, delta-encoded as signed LEB128 varints (branch PCs
+  cluster tightly, so deltas are small),
+* the outcome stream, bit-packed 8 branches per byte.
+
+The format exists so generated workload suites can be produced once and
+re-read by experiments and benchmarks without regeneration cost.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.records import Trace, TraceMetadata
+
+_MAGIC = b"BFBP"
+_VERSION = 1
+
+
+def _zigzag_encode(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to ``path`` in the BFBP binary format."""
+    meta = {
+        "name": trace.metadata.name,
+        "category": trace.metadata.category,
+        "instruction_count": trace.metadata.instruction_count,
+        "seed": trace.metadata.seed,
+        "extra": trace.metadata.extra,
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    out += len(meta_bytes).to_bytes(4, "little")
+    out += meta_bytes
+    out += len(trace).to_bytes(8, "little")
+
+    previous_pc = 0
+    for pc in trace.pcs:
+        _write_varint(out, _zigzag_encode(pc - previous_pc))
+        previous_pc = pc
+
+    packed = bytearray((len(trace) + 7) // 8)
+    for index, taken in enumerate(trace.outcomes):
+        if taken:
+            packed[index >> 3] |= 1 << (index & 7)
+    out += packed
+
+    Path(path).write_bytes(bytes(out))
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Deserialize a trace previously written by :func:`write_trace`."""
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise ValueError(f"{path}: not a BFBP trace file (bad magic)")
+    version = data[4]
+    if version != _VERSION:
+        raise ValueError(f"{path}: unsupported trace format version {version}")
+
+    meta_len = int.from_bytes(data[5:9], "little")
+    meta_end = 9 + meta_len
+    meta = json.loads(data[9:meta_end].decode("utf-8"))
+    count = int.from_bytes(data[meta_end : meta_end + 8], "little")
+    offset = meta_end + 8
+
+    pcs: list[int] = []
+    previous_pc = 0
+    for _ in range(count):
+        delta, offset = _read_varint(data, offset)
+        previous_pc += _zigzag_decode(delta)
+        pcs.append(previous_pc)
+
+    outcomes: list[bool] = []
+    for index in range(count):
+        byte = data[offset + (index >> 3)]
+        outcomes.append(bool(byte & (1 << (index & 7))))
+
+    metadata = TraceMetadata(
+        name=meta["name"],
+        category=meta["category"],
+        instruction_count=meta["instruction_count"],
+        seed=meta.get("seed", 0),
+        extra=meta.get("extra", {}),
+    )
+    return Trace(metadata, pcs, outcomes)

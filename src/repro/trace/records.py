@@ -1,0 +1,115 @@
+"""Branch trace records.
+
+A trace is the unit of evaluation: an ordered stream of committed
+conditional branches, each a (pc, taken) pair, plus the total instruction
+count so mispredictions can be reported per 1000 *instructions* (MPKI),
+exactly as the CBP-4 framework does.
+
+For simulation speed the hot representation is a pair of parallel lists
+(``pcs``, ``outcomes``) rather than a list of objects; ``BranchRecord``
+exists for ergonomic single-event access in user code and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One committed conditional branch."""
+
+    pc: int
+    taken: bool
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"pc must be non-negative, got {self.pc}")
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Descriptive information carried alongside the branch stream.
+
+    ``instruction_count`` is the denominator for MPKI.  CBP-4 traces
+    interleave non-branch instructions; synthetic traces record the
+    instruction count their generator simulated.
+    """
+
+    name: str
+    category: str
+    instruction_count: int
+    seed: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.instruction_count <= 0:
+            raise ValueError(
+                f"instruction_count must be positive, got {self.instruction_count}"
+            )
+
+
+class Trace:
+    """An in-memory branch trace: parallel pc/outcome arrays plus metadata."""
+
+    __slots__ = ("metadata", "outcomes", "pcs")
+
+    def __init__(
+        self, metadata: TraceMetadata, pcs: list[int], outcomes: list[bool]
+    ) -> None:
+        if len(pcs) != len(outcomes):
+            raise ValueError(
+                f"pcs ({len(pcs)}) and outcomes ({len(outcomes)}) differ in length"
+            )
+        self.metadata = metadata
+        self.pcs = pcs
+        self.outcomes = outcomes
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for pc, taken in zip(self.pcs, self.outcomes):
+            yield BranchRecord(pc, taken)
+
+    def __getitem__(self, index: int) -> BranchRecord:
+        return BranchRecord(self.pcs[index], self.outcomes[index])
+
+    @property
+    def name(self) -> str:
+        """The trace's suite name (e.g. "SPEC02")."""
+        return self.metadata.name
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions represented by the trace (MPKI denominator)."""
+        return self.metadata.instruction_count
+
+    def truncated(self, max_branches: int) -> "Trace":
+        """Return a prefix of the trace with a proportionally scaled
+        instruction count (so MPKI stays comparable)."""
+        if max_branches <= 0:
+            raise ValueError(f"max_branches must be positive, got {max_branches}")
+        if max_branches >= len(self):
+            return self
+        fraction = max_branches / len(self)
+        scaled_instructions = max(1, round(self.metadata.instruction_count * fraction))
+        metadata = TraceMetadata(
+            name=self.metadata.name,
+            category=self.metadata.category,
+            instruction_count=scaled_instructions,
+            seed=self.metadata.seed,
+            extra=dict(self.metadata.extra),
+        )
+        return Trace(metadata, self.pcs[:max_branches], self.outcomes[:max_branches])
+
+    def static_branches(self) -> set[int]:
+        """The set of distinct branch PCs appearing in the trace."""
+        return set(self.pcs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.metadata.name!r}, branches={len(self)}, "
+            f"instructions={self.metadata.instruction_count})"
+        )

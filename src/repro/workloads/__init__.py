@@ -1,0 +1,73 @@
+"""Synthetic workload substrate standing in for the CBP-4 trace suite.
+
+The paper evaluates on 40 proprietary CBP-4 traces.  This package builds
+deterministic synthetic equivalents: a small program model (scenes that
+emit branch events through a shared machine state) and per-category
+parameter profiles that reproduce the phenomena the predictors are
+sensitive to — biased branches, constant-trip loops, short-range pattern
+correlation, *distant* correlation reachable only through bias filtering
+and recency-stack compression, and local-history-favoring branches.
+
+Every trace is a pure function of its name; regenerating a trace always
+yields the identical event stream.
+"""
+
+from repro.workloads.cfg import (
+    BiasedRun,
+    CallSeparatedCorrelation,
+    ConstantLoop,
+    DistantCorrelation,
+    Fig4Loop,
+    FlagReader,
+    FlagSetter,
+    LocalPeriodic,
+    Machine,
+    NoisyBranch,
+    PhasedBiased,
+    Program,
+    RepeatedInnerLoop,
+    Scene,
+    Sequence,
+    ShortCorrelation,
+    TraceBuilder,
+    VariableLoop,
+)
+from repro.workloads.profiles import CategoryProfile, categories, profile_for
+from repro.workloads.suite import (
+    DEFAULT_BRANCHES,
+    SUITE_NAMES,
+    build_program,
+    build_suite,
+    build_trace,
+    trace_names,
+)
+
+__all__ = [
+    "BiasedRun",
+    "CallSeparatedCorrelation",
+    "CategoryProfile",
+    "ConstantLoop",
+    "DEFAULT_BRANCHES",
+    "DistantCorrelation",
+    "Fig4Loop",
+    "FlagReader",
+    "FlagSetter",
+    "LocalPeriodic",
+    "Machine",
+    "NoisyBranch",
+    "PhasedBiased",
+    "Program",
+    "RepeatedInnerLoop",
+    "SUITE_NAMES",
+    "Scene",
+    "Sequence",
+    "ShortCorrelation",
+    "TraceBuilder",
+    "VariableLoop",
+    "build_program",
+    "build_suite",
+    "build_trace",
+    "categories",
+    "profile_for",
+    "trace_names",
+]

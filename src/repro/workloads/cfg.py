@@ -1,0 +1,638 @@
+"""Synthetic program model: scenes emitting branch events.
+
+A *scene* is a reusable program fragment (a loop nest, a run of biased
+branches, a correlated if).  A *program* is a weighted collection of
+scenes executed round-robin until a branch budget is met.  Scenes share a
+``Machine`` — flags set by earlier branches and read by later ones — which
+is how correlation at controllable distances is constructed.
+
+The crucial scene for this paper is :class:`DistantCorrelation`: a leader
+branch sets a flag, then *filler* executes — mostly biased branches plus
+a few non-biased branches repeated many times — and finally follower
+branches read the flag.  In raw history the leader ends up hundreds to
+thousands of branches deep (invisible to a 64–128-entry history);
+after bias filtering the distance shrinks to the number of non-biased
+filler branches; after recency-stack deduplication it shrinks to the
+number of *distinct* non-biased filler branches.  That is exactly the
+reach hierarchy of Figure 9.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.rng import XorShift64
+from repro.trace.records import Trace, TraceMetadata
+
+
+class Machine:
+    """Shared mutable state visible to every scene of a program."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = XorShift64(seed)
+        self.flags: dict[str, bool] = {}
+        self.recent: list[bool] = []  # short outcome history for pattern scenes
+
+    def record(self, taken: bool) -> None:
+        """Append an outcome to the shared short history window."""
+        self.recent.append(taken)
+        if len(self.recent) > 64:
+            del self.recent[0]
+
+
+class TraceBuilder:
+    """Accumulates branch events and the instruction count for a trace."""
+
+    def __init__(self, instructions_per_branch: int = 5) -> None:
+        if instructions_per_branch <= 0:
+            raise ValueError(
+                f"instructions_per_branch must be positive, got {instructions_per_branch}"
+            )
+        self.pcs: list[int] = []
+        self.outcomes: list[bool] = []
+        self.instructions = 0
+        self.instructions_per_branch = instructions_per_branch
+
+    def branch(self, machine: Machine, pc: int, taken: bool) -> None:
+        """Record one committed conditional branch plus surrounding work."""
+        self.pcs.append(pc & 0xFFFFFFFF)
+        self.outcomes.append(taken)
+        self.instructions += self.instructions_per_branch
+        machine.record(taken)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+class Scene(ABC):
+    """A program fragment that emits zero or more branches per activation."""
+
+    @abstractmethod
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        """Execute the fragment once."""
+
+    def reset(self) -> None:
+        """Clear any per-generation internal state (default: none)."""
+
+    def approx_branches(self) -> int:
+        """Approximate branches emitted per activation (default 1).
+
+        ``Program`` uses this to convert *stream-share* weights into
+        activation pick-weights, so a scene emitting 1000 branches per
+        activation does not drown one emitting a single branch.
+        """
+        return 1
+
+
+class BiasedRun(Scene):
+    """A straight-line run of completely biased branches.
+
+    Each of the ``count`` static branches has a fixed direction derived
+    from its pc, so the run inflates history depth without carrying any
+    correlation information — the padding Figure 2 measures.
+    """
+
+    def __init__(self, base_pc: int, count: int, distinct: int | None = None) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if distinct is not None and not 0 < distinct <= count:
+            raise ValueError(f"distinct must be in 1..{count}, got {distinct}")
+        self.base_pc = base_pc
+        self.count = count
+        # Long runs cycle over a bounded static pool: real filler code
+        # (loop bodies, call chains) re-executes the same branches, and a
+        # run of `count` single-use statics would stay cold forever at
+        # simulation-scale trace lengths.
+        self.distinct = distinct if distinct is not None else min(count, 48)
+        # Fixed per-branch directions, a pure function of the pc.
+        self._directions = [
+            bool((base_pc + 0x9E37 * i) >> 3 & 1) for i in range(self.distinct)
+        ]
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        for i in range(self.count):
+            slot = i % self.distinct
+            out.branch(machine, self.base_pc + 4 * slot, self._directions[slot])
+
+    def approx_branches(self) -> int:
+        return self.count
+
+
+class ConstantLoop(Scene):
+    """A loop with a constant trip count.
+
+    Emits the backward branch taken ``trip - 1`` times then not-taken —
+    the pattern a loop-count predictor captures perfectly and history
+    predictors capture only if the history covers the whole loop.
+    """
+
+    def __init__(self, pc: int, trip: int, body: Scene | None = None) -> None:
+        if trip <= 1:
+            raise ValueError(f"trip count must exceed 1, got {trip}")
+        self.pc = pc
+        self.trip = trip
+        self.body = body
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        for iteration in range(self.trip):
+            if self.body is not None:
+                self.body.run(machine, out)
+            out.branch(machine, self.pc, iteration < self.trip - 1)
+
+    def approx_branches(self) -> int:
+        per_iteration = 1 + (self.body.approx_branches() if self.body else 0)
+        return self.trip * per_iteration
+
+
+class VariableLoop(Scene):
+    """A loop whose trip count is drawn from a small set each activation."""
+
+    def __init__(self, pc: int, trips: list[int], body: Scene | None = None) -> None:
+        if not trips or any(t <= 1 for t in trips):
+            raise ValueError(f"trips must be >1, got {trips}")
+        self.pc = pc
+        self.trips = list(trips)
+        self.body = body
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        trip = self.trips[machine.rng.next_below(len(self.trips))]
+        for iteration in range(trip):
+            if self.body is not None:
+                self.body.run(machine, out)
+            out.branch(machine, self.pc, iteration < trip - 1)
+
+    def approx_branches(self) -> int:
+        per_iteration = 1 + (self.body.approx_branches() if self.body else 0)
+        average_trip = sum(self.trips) // len(self.trips)
+        return average_trip * per_iteration
+
+
+class NoisyBranch(Scene):
+    """A data-dependent branch: taken with probability ``p_taken``.
+
+    Sets the MPKI floor — no predictor can learn a Bernoulli source.
+    """
+
+    def __init__(self, pc: int, p_taken: float = 0.5) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be in [0,1], got {p_taken}")
+        self.pc = pc
+        self.p_taken = p_taken
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        taken = machine.rng.next_below(1_000_000) < self.p_taken * 1_000_000
+        out.branch(machine, self.pc, taken)
+
+
+class FlagSetter(Scene):
+    """A non-biased branch whose outcome is stored in a named flag."""
+
+    def __init__(self, pc: int, flag: str, p_taken: float = 0.5) -> None:
+        self.pc = pc
+        self.flag = flag
+        self.p_taken = p_taken
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        taken = machine.rng.next_below(1_000_000) < self.p_taken * 1_000_000
+        machine.flags[self.flag] = taken
+        out.branch(machine, self.pc, taken)
+
+
+class FlagReader(Scene):
+    """A branch perfectly correlated with a flag set earlier.
+
+    ``noise`` flips the outcome with the given probability, bounding how
+    much accuracy the correlation is worth.
+    """
+
+    def __init__(
+        self, pc: int, flag: str, invert: bool = False, noise: float = 0.0
+    ) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0,1], got {noise}")
+        self.pc = pc
+        self.flag = flag
+        self.invert = invert
+        self.noise = noise
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        taken = machine.flags.get(self.flag, False) ^ self.invert
+        if self.noise and machine.rng.next_below(1_000_000) < self.noise * 1_000_000:
+            taken = not taken
+        out.branch(machine, self.pc, taken)
+
+
+class ShortCorrelation(Scene):
+    """A short-range correlated triple: source, pad, two readers.
+
+    A source branch resolves randomly; ``depth - 1`` biased pad branches
+    later, two reader branches copy (and invert) its outcome.  This is a
+    *linear* correlation at distance ``depth`` — learnable by perceptrons
+    (which cannot learn XOR parity) and by any tagged table whose history
+    window covers the source.  The biased ``pre_pad`` emitted before the
+    source pins down the deeper history bits so tag-matching predictors
+    see a small, repeating context set.
+    """
+
+    def __init__(self, pc: int, depth: int = 4, pre_pad: int = 12) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if pre_pad < 0:
+            raise ValueError(f"pre_pad must be non-negative, got {pre_pad}")
+        self.pc = pc
+        self.depth = depth
+        self._pre_pad = BiasedRun(pc + 0x800, pre_pad) if pre_pad else None
+        self._pad = BiasedRun(pc + 0x400, depth - 1) if depth > 1 else None
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        # Pre-pad pins down the history bits *beyond* the source branch so
+        # tag-matching predictors see a small, repeating context.
+        if self._pre_pad is not None:
+            self._pre_pad.run(machine, out)
+        source = bool(machine.rng.next_bits(1))
+        out.branch(machine, self.pc, source)
+        if self._pad is not None:
+            self._pad.run(machine, out)
+        out.branch(machine, self.pc + 4, source)
+        out.branch(machine, self.pc + 8, not source)
+
+    def approx_branches(self) -> int:
+        pre = self._pre_pad.count if self._pre_pad else 0
+        pad = self._pad.count if self._pad else 0
+        return pre + pad + 3
+
+
+class LocalPeriodic(Scene):
+    """A branch cycling through a fixed local pattern (e.g. TTTN).
+
+    Best predicted through local history; with recency-stack management
+    its global-history context collapses, which is the pathology the
+    paper reports for SPEC07/FP2.
+    """
+
+    def __init__(self, pc: int, pattern: list[bool]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pc = pc
+        self.pattern = list(pattern)
+        self._phase = 0
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        out.branch(machine, self.pc, self.pattern[self._phase])
+        self._phase = (self._phase + 1) % len(self.pattern)
+
+    def reset(self) -> None:
+        self._phase = 0
+
+
+class RepeatedInnerLoop(Scene):
+    """An inner loop whose body re-executes a few non-biased branches.
+
+    In raw history each activation contributes ``iterations`` instances
+    of the same static branches; a recency stack collapses them to one
+    entry each.  This scene creates the history-footprint pressure that
+    only RS management relieves (Figure 9's final step).  Body outcomes
+    follow a deterministic parity pattern, so the loop inflates history
+    without adding unpredictable noise.
+    """
+
+    def __init__(self, loop_pc: int, body_pcs: list[int], iterations: int) -> None:
+        if iterations <= 1:
+            raise ValueError(f"iterations must exceed 1, got {iterations}")
+        if not body_pcs:
+            raise ValueError("body_pcs must be non-empty")
+        self.loop_pc = loop_pc
+        self.body_pcs = list(body_pcs)
+        self.iterations = iterations
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        for iteration in range(self.iterations):
+            for index, pc in enumerate(self.body_pcs):
+                out.branch(machine, pc, bool((iteration ^ index) & 1))
+            out.branch(machine, self.loop_pc, iteration < self.iterations - 1)
+
+    def approx_branches(self) -> int:
+        return self.iterations * (len(self.body_pcs) + 1)
+
+
+class Fig4Loop(Scene):
+    """The paper's Figure 4 code pattern, motivating positional history.
+
+    A leader branch ``A`` stores a flag; a loop of ``iterations`` then
+    executes a branch ``X`` that is taken only at iteration
+    ``special_index`` *and only when the flag was set*.  A recency stack
+    keeps a single instance of ``A`` and of the loop branch, so every
+    instance of ``X`` sees the same filtered history; only the *positional
+    history* (the distance of ``A``) distinguishes the special iteration
+    from the rest.
+    """
+
+    def __init__(
+        self,
+        leader_pc: int,
+        loop_pc: int,
+        x_pc: int,
+        iterations: int,
+        special_index: int,
+        flag: str,
+    ) -> None:
+        if not 0 <= special_index < iterations:
+            raise ValueError(
+                f"special_index {special_index} outside loop of {iterations}"
+            )
+        self._leader = FlagSetter(leader_pc, flag)
+        self.loop_pc = loop_pc
+        self.x_pc = x_pc
+        self.iterations = iterations
+        self.special_index = special_index
+        self.flag = flag
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        self._leader.run(machine, out)
+        for iteration in range(self.iterations):
+            array_element_set = (
+                machine.flags.get(self.flag, False)
+                and iteration == self.special_index
+            )
+            out.branch(machine, self.x_pc, array_element_set)
+            out.branch(machine, self.loop_pc, iteration < self.iterations - 1)
+
+    def approx_branches(self) -> int:
+        return 1 + 2 * self.iterations
+
+
+class PhasedBiased(Scene):
+    """Branches that look completely biased, then flip direction once.
+
+    Models program phase changes: a branch behaves as biased for
+    ``flip_after`` activations, then permanently resolves the other way.
+    Dynamic bias detection (the BST FSM) classifies it as biased, pays a
+    misprediction at the flip, reclassifies it as non-biased and pollutes
+    the filtered history afterwards — the SERV-trace pathology of §VI-D.
+    """
+
+    def __init__(self, base_pc: int, count: int, flip_after: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if flip_after <= 0:
+            raise ValueError(f"flip_after must be positive, got {flip_after}")
+        self.base_pc = base_pc
+        self.count = count
+        self.flip_after = flip_after
+        self._directions = [bool((base_pc + 0x51ED * i) >> 2 & 1) for i in range(count)]
+        self._activations = 0
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        flipped = self._activations >= self.flip_after
+        for i in range(self.count):
+            out.branch(machine, self.base_pc + 4 * i, self._directions[i] ^ flipped)
+        self._activations += 1
+
+    def approx_branches(self) -> int:
+        return self.count
+
+    def reset(self) -> None:
+        self._activations = 0
+
+
+class CallSeparatedCorrelation(Scene):
+    """Correlated branches separated by a *conditional* function call.
+
+    The paper's introduction motivates long histories with exactly this
+    shape: "if two correlated branches are separated by a function call
+    containing many branches, a longer history is likely to capture the
+    correlated branch".  Here a leader branch decides whether a callee
+    body (a run of biased branches plus a small deterministic non-biased
+    preamble) executes, then a follower reads the leader's outcome — so
+    the leader's *raw distance varies with its own direction*.
+
+    Fixed-window tag-matching predictors must learn two window shapes;
+    a recency stack holds one leader entry whose positional history
+    simply differs between the two paths, which is what the pos_hist
+    field exists for (Section III-C).
+    """
+
+    def __init__(
+        self,
+        leader_pc: int,
+        flag: str,
+        callee_biased: int = 60,
+        short_biased: int = 8,
+        follower_count: int = 2,
+        noise: float = 0.0,
+    ) -> None:
+        if callee_biased <= short_biased:
+            raise ValueError(
+                "callee body must be longer than the not-taken path "
+                f"({callee_biased} <= {short_biased})"
+            )
+        self._leader = FlagSetter(leader_pc, flag)
+        self._callee = BiasedRun(leader_pc + 0x400, callee_biased)
+        self._callee_preamble_pcs = [leader_pc + 0x800 + 4 * i for i in range(3)]
+        self._short_path = BiasedRun(leader_pc + 0x1400, short_biased)
+        self._followers = [
+            FlagReader(leader_pc + 0xC00 + 4 * i, flag, invert=bool(i & 1), noise=noise)
+            for i in range(follower_count)
+        ]
+        self.callee_biased = callee_biased
+        self.short_biased = short_biased
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        self._leader.run(machine, out)
+        if machine.flags[self._leader.flag]:
+            # Call path: deterministic non-biased preamble + biased body.
+            for repeat in range(2):
+                for index, pc in enumerate(self._callee_preamble_pcs):
+                    out.branch(machine, pc, bool((repeat + index) & 1))
+            self._callee.run(machine, out)
+        else:
+            self._short_path.run(machine, out)
+        for follower in self._followers:
+            follower.run(machine, out)
+
+    def approx_branches(self) -> int:
+        average_path = (self.callee_biased + 6 + self.short_biased) // 2
+        return 1 + average_path + len(self._followers)
+
+
+class Sequence(Scene):
+    """Run several scenes in order as one fragment."""
+
+    def __init__(self, scenes: list[Scene]) -> None:
+        if not scenes:
+            raise ValueError("scenes must be non-empty")
+        self.scenes = list(scenes)
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        for scene in self.scenes:
+            scene.run(machine, out)
+
+    def reset(self) -> None:
+        for scene in self.scenes:
+            scene.reset()
+
+    def approx_branches(self) -> int:
+        return sum(scene.approx_branches() for scene in self.scenes)
+
+
+class DistantCorrelation(Scene):
+    """Leader sets a flag; filler creates distance; followers read the flag.
+
+    Parameters shape where each predictor class can reach:
+
+    * ``biased_filler`` — number of biased branches between leader and
+      follower (inflates *raw* distance only).
+    * ``nonbiased_filler_pcs`` / ``filler_repeats`` — a few non-biased
+      branches each re-executed ``filler_repeats`` times (inflates the
+      *filtered* distance; an RS collapses it to ``len(pcs)`` entries).
+    * ``followers`` — how many reader branches consume the flag.
+
+    The patterned filler is *deterministic and identical every activation*
+    (branch ``i`` at repeat ``r`` is taken iff ``(r + i)`` is odd), so it
+    is (a) non-biased for ``filler_repeats >= 2`` — it enters filtered
+    history and the RS, creating the footprint pressure — yet (b) cheap to
+    predict and (c) information-free: nothing about the leader leaks
+    through it, so only a predictor whose context reaches the leader can
+    predict the followers.
+    """
+
+    def __init__(
+        self,
+        leader_pc: int,
+        flag: str,
+        biased_filler: int,
+        nonbiased_filler_pcs: list[int],
+        filler_repeats: int,
+        follower_pcs: list[int],
+        noise: float = 0.0,
+        leader_p_taken: float = 0.5,
+        pre_pad: int = 0,
+        pre_filler_pcs: list[int] | None = None,
+    ) -> None:
+        if filler_repeats < 2 and nonbiased_filler_pcs:
+            raise ValueError(
+                "filler_repeats must be >= 2 so patterned filler branches "
+                f"resolve both ways (got {filler_repeats})"
+            )
+        self._leader = FlagSetter(leader_pc, flag, leader_p_taken)
+        self._biased = (
+            BiasedRun(leader_pc + 0x400, biased_filler) if biased_filler else None
+        )
+        self._nonbiased_pcs = list(nonbiased_filler_pcs)
+        self._filler_repeats = filler_repeats
+        self._followers = [
+            FlagReader(pc, flag, invert=bool(index & 1), noise=noise)
+            for index, pc in enumerate(follower_pcs)
+        ]
+        # Deterministic context emitted *before* the leader: a biased
+        # pre-pad pins the raw-history bits beyond the leader (so a
+        # conventional TAGE window covering the leader sees a repeating
+        # context), and a small non-biased patterned pre-filler pins the
+        # *filtered* entries beyond the leader (so a bias-free predictor
+        # window covering the leader is deterministic too).
+        self._pre_pad = (
+            BiasedRun(leader_pc + 0x1400, pre_pad) if pre_pad else None
+        )
+        self._pre_filler_pcs = list(pre_filler_pcs or [])
+        # A small biased header executed before the pre-filler: the first
+        # pre-filler instance would otherwise see only junk context from
+        # whatever scene ran before, making it unlearnable for
+        # tag-matching predictors.
+        self._header = (
+            BiasedRun(leader_pc + 0x1800, 8) if self._pre_filler_pcs else None
+        )
+
+    @property
+    def raw_distance(self) -> int:
+        """Branches between leader and first follower in raw history."""
+        biased = self._biased.count if self._biased is not None else 0
+        return biased + self._filler_repeats * len(self._nonbiased_pcs)
+
+    def run(self, machine: Machine, out: TraceBuilder) -> None:
+        if self._header is not None:
+            self._header.run(machine, out)
+        for repeat in range(2):
+            for index, pc in enumerate(self._pre_filler_pcs):
+                out.branch(machine, pc, bool((repeat + index) & 1))
+        if self._pre_pad is not None:
+            self._pre_pad.run(machine, out)
+        self._leader.run(machine, out)
+        if self._biased is not None:
+            self._biased.run(machine, out)
+        for repeat in range(self._filler_repeats):
+            for index, pc in enumerate(self._nonbiased_pcs):
+                out.branch(machine, pc, bool((repeat + index) & 1))
+        for follower in self._followers:
+            follower.run(machine, out)
+
+    def approx_branches(self) -> int:
+        pre = 2 * len(self._pre_filler_pcs)
+        if self._pre_pad is not None:
+            pre += self._pre_pad.count
+        if self._header is not None:
+            pre += self._header.count
+        return pre + 1 + self.raw_distance + len(self._followers)
+
+
+class Program:
+    """A weighted collection of scenes generating a whole trace.
+
+    Scene weights are *stream shares*: a scene with weight 30 should
+    contribute roughly 30/(total weight) of the trace's branches, however
+    many branches one activation of it emits.  Internally each share is
+    divided by the scene's ``approx_branches`` to obtain the activation
+    pick-weight.
+    """
+
+    _WEIGHT_SCALE = 10_000
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        scenes: list[tuple[Scene, float]],
+        seed: int,
+        instructions_per_branch: int = 5,
+    ) -> None:
+        if not scenes:
+            raise ValueError("a program needs at least one scene")
+        if any(weight <= 0 for _, weight in scenes):
+            raise ValueError("scene weights must be positive")
+        self.name = name
+        self.category = category
+        self.scenes = list(scenes)
+        self.seed = seed
+        self.instructions_per_branch = instructions_per_branch
+        self._pick_weights = [
+            max(1, round(self._WEIGHT_SCALE * weight / scene.approx_branches()))
+            for scene, weight in self.scenes
+        ]
+
+    def generate(self, branch_budget: int) -> Trace:
+        """Produce a trace of at least ``branch_budget`` branches.
+
+        Scenes are selected by weighted choice from a deterministic RNG,
+        so the interleaving (and thus every history a predictor sees) is
+        a pure function of the program seed.
+        """
+        if branch_budget <= 0:
+            raise ValueError(f"branch_budget must be positive, got {branch_budget}")
+        for scene, _ in self.scenes:
+            scene.reset()
+        machine = Machine(self.seed)
+        out = TraceBuilder(self.instructions_per_branch)
+        total_weight = sum(self._pick_weights)
+        while len(out) < branch_budget:
+            pick = machine.rng.next_below(total_weight)
+            for (scene, _), weight in zip(self.scenes, self._pick_weights):
+                if pick < weight:
+                    scene.run(machine, out)
+                    break
+                pick -= weight
+        metadata = TraceMetadata(
+            name=self.name,
+            category=self.category,
+            instruction_count=max(1, out.instructions),
+            seed=self.seed,
+        )
+        return Trace(metadata, out.pcs, out.outcomes)

@@ -1,0 +1,164 @@
+"""Per-category workload parameter profiles.
+
+The CBP-4 suite groups traces into SPEC (long SPEC2006 traces), FP, INT,
+MM and SERV categories.  Each category gets a parameter profile shaping
+the scene mix; individual traces then override a few knobs (seed, bias
+fraction, correlation depth emphasis) in :mod:`repro.workloads.suite`.
+
+The knobs map to paper phenomena:
+
+* ``bias_weight`` / ``working_set`` — biased-branch padding (Figure 2)
+  and static-branch pressure on the BST (the SERV discussion in §VI-D).
+* ``distant_weight`` / ``rs_weight`` / ``deep_weight`` — flag correlations
+  at raw distances beyond unfiltered history reach, the core phenomenon
+  bias-free filtering exploits.  The category defaults are zero: each
+  *trace* is assigned its bands in suite._TRACE_TUNING, concentrating
+  activations so every assigned band trains well within a trace.
+* ``rs_weight`` — inner loops re-executing the same non-biased branches,
+  relieved only by recency-stack deduplication (Figure 9, last bar).
+* ``deep_weight`` — very distant correlations (raw distance 600–1500)
+  reachable by a 15-table TAGE or a 10-table BF-TAGE but not a 10-table
+  TAGE (Figures 10–12).
+* ``local_weight`` — periodic local-pattern branches that recency-stack
+  management handles poorly (the SPEC07/FP2 pathology in §VI-D).
+* ``noise_weight`` — irreducible data-dependent branches (MPKI floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Scene-mix weights and shape parameters for one workload category."""
+
+    category: str
+    # Biased-branch padding.
+    bias_weight: int
+    biased_run_len: int
+    working_set: int  # number of distinct biased-run scenes
+    # Easy, short-range-predictable content.
+    short_weight: int
+    loop_weight: int
+    loop_trips: tuple[int, ...]
+    # Correlation content.
+    near_weight: int  # raw distance ~30-50
+    distant_weight: int  # raw distance ~120-200, filtered distance small
+    rs_weight: int  # filtered distance large, RS-compressed small
+    deep_weight: int  # raw distance 600-1500
+    # Pathologies and noise.
+    local_weight: int
+    noise_weight: int
+    noise_p: float
+    # Relative trace length (long SPEC traces vs short category traces).
+    length_factor: float
+
+    def with_overrides(self, **overrides: object) -> "CategoryProfile":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+_PROFILES: dict[str, CategoryProfile] = {
+    "SPEC": CategoryProfile(
+        category="SPEC",
+        bias_weight=30,
+        biased_run_len=14,
+        working_set=10,
+        short_weight=10,
+        loop_weight=8,
+        loop_trips=(12, 23, 37),
+        near_weight=6,
+        distant_weight=0,
+        rs_weight=0,
+        deep_weight=0,
+        local_weight=0,
+        noise_weight=3,
+        noise_p=0.7,
+        length_factor=2.0,
+    ),
+    "FP": CategoryProfile(
+        category="FP",
+        bias_weight=40,
+        biased_run_len=16,
+        working_set=8,
+        short_weight=12,
+        loop_weight=14,
+        loop_trips=(8, 16, 50),
+        near_weight=4,
+        distant_weight=0,
+        rs_weight=0,
+        deep_weight=0,
+        local_weight=1,
+        noise_weight=1,
+        noise_p=0.85,
+        length_factor=1.0,
+    ),
+    "INT": CategoryProfile(
+        category="INT",
+        bias_weight=26,
+        biased_run_len=12,
+        working_set=10,
+        short_weight=12,
+        loop_weight=6,
+        loop_trips=(5, 9, 14),
+        near_weight=7,
+        distant_weight=0,
+        rs_weight=0,
+        deep_weight=0,
+        local_weight=0,
+        noise_weight=4,
+        noise_p=0.65,
+        length_factor=1.0,
+    ),
+    "MM": CategoryProfile(
+        category="MM",
+        bias_weight=28,
+        biased_run_len=12,
+        working_set=9,
+        short_weight=8,
+        loop_weight=10,
+        loop_trips=(8, 8, 64),
+        near_weight=5,
+        distant_weight=0,
+        rs_weight=0,
+        deep_weight=0,
+        local_weight=2,
+        noise_weight=5,
+        noise_p=0.6,
+        length_factor=1.0,
+    ),
+    "SERV": CategoryProfile(
+        category="SERV",
+        bias_weight=55,
+        biased_run_len=10,
+        working_set=120,
+        short_weight=10,
+        loop_weight=4,
+        loop_trips=(4, 7, 11),
+        near_weight=6,
+        distant_weight=0,
+        rs_weight=0,
+        deep_weight=0,
+        local_weight=0,
+        noise_weight=4,
+        noise_p=0.7,
+        length_factor=1.0,
+    ),
+}
+
+
+def profile_for(category: str) -> CategoryProfile:
+    """Look up the base profile for a workload category."""
+    try:
+        return _PROFILES[category]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload category {category!r}; "
+            f"expected one of {sorted(_PROFILES)}"
+        ) from None
+
+
+def categories() -> list[str]:
+    """The workload category names, sorted."""
+    return sorted(_PROFILES)

@@ -1,0 +1,387 @@
+"""The 40-trace synthetic suite mirroring the CBP-4 benchmark set.
+
+Trace names match the paper's figures exactly: ``SPEC00``–``SPEC19`` (long
+traces), and five each of ``FP``, ``INT``, ``MM`` and ``SERV`` (short
+traces).  Each trace is assembled from its category profile plus a
+per-trace tuning entry that shifts the phenomenon emphasis the paper
+attributes to it — e.g. SPEC03/14/18 have few biased branches but benefit
+most from recency-stack management (Figure 9), SPEC07 and FP2 carry
+local-history-favoring branches (§VI-D), SERV3 suffers most from dynamic
+bias detection because of phase-changing branches.
+
+Every trace is a pure function of its name: the seed is a stable hash of
+the name, and generation is driven by the deterministic ``XorShift64``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.common.bitops import mix64
+from repro.trace.records import Trace
+from repro.workloads.cfg import (
+    BiasedRun,
+    ConstantLoop,
+    DistantCorrelation,
+    Fig4Loop,
+    LocalPeriodic,
+    NoisyBranch,
+    PhasedBiased,
+    Program,
+    Scene,
+    ShortCorrelation,
+    VariableLoop,
+)
+from repro.workloads.profiles import CategoryProfile, profile_for
+
+SPEC_NAMES = [f"SPEC{i:02d}" for i in range(20)]
+SHORT_NAMES = [
+    f"{category}{i}" for category in ("FP", "INT", "MM", "SERV") for i in range(1, 6)
+]
+SUITE_NAMES = SPEC_NAMES + SHORT_NAMES
+
+#: Default branch budget for a short trace; long SPEC traces get the
+#: profile's ``length_factor`` times this.  The real CBP-4 traces are
+#: 3–30 M branches; pure-Python simulation makes that impractical, so the
+#: suite defaults to a scale where every phenomenon still manifests.
+DEFAULT_BRANCHES = 30_000
+
+# Per-trace emphasis overrides.  Keys are CategoryProfile field names.
+# The emphasis follows the paper's per-trace discussion:
+#  * bias_weight tracks the Figure 2 spread,
+#  * deep_weight marks the long-history-sensitive traces of Figs 11-12,
+#  * rs_weight marks SPEC03/14/18 (RS "proves to be the most valuable"),
+#  * local_weight marks SPEC07/FP2/MM5 (local-history pathology),
+#  * phase_weight (extra knob, see _build_scenes) marks SERV traces.
+_TRACE_TUNING: dict[str, dict[str, object]] = {
+    "SPEC00": {"bias_weight": 30, "deep_weight": 14},
+    "SPEC01": {"bias_weight": 18, "noise_weight": 5},
+    "SPEC02": {"bias_weight": 62, "deep_weight": 14, "distant_weight": 13},
+    "SPEC03": {"bias_weight": 10, "rs_weight": 16, "deep_weight": 13},
+    "SPEC04": {"bias_weight": 13, "near_weight": 9},
+    "SPEC05": {"bias_weight": 38, "noise_weight": 2},
+    "SPEC06": {"bias_weight": 68, "deep_weight": 14, "distant_weight": 13},
+    "SPEC07": {"bias_weight": 28, "local_weight": 7, "deep_weight": 4},
+    "SPEC08": {"bias_weight": 52, "distant_weight": 13},
+    "SPEC09": {"bias_weight": 65, "deep_weight": 14},
+    "SPEC10": {"bias_weight": 48, "deep_weight": 13, "distant_weight": 11},
+    "SPEC11": {"bias_weight": 12, "short_weight": 14},
+    "SPEC12": {"bias_weight": 11, "near_weight": 8},
+    "SPEC13": {"bias_weight": 42},
+    "SPEC14": {"bias_weight": 22, "rs_weight": 16, "distant_weight": 11},
+    "SPEC15": {"bias_weight": 50, "deep_weight": 14, "distant_weight": 11},
+    "SPEC16": {"bias_weight": 35, "noise_weight": 4},
+    "SPEC17": {"bias_weight": 40, "deep_weight": 14},
+    "SPEC18": {"bias_weight": 16, "rs_weight": 16},
+    "SPEC19": {"bias_weight": 31, "noise_weight": 4},
+    "FP1": {"bias_weight": 50, "distant_weight": 10},
+    "FP2": {"bias_weight": 46, "deep_weight": 9, "local_weight": 5},
+    "FP3": {"bias_weight": 56},
+    "FP4": {"bias_weight": 53, "loop_weight": 18},
+    "FP5": {"bias_weight": 48, "noise_weight": 2},
+    "INT1": {"bias_weight": 44, "deep_weight": 11, "distant_weight": 11},
+    "INT2": {"bias_weight": 32, "noise_weight": 5},
+    "INT3": {"bias_weight": 36, "short_weight": 14},
+    "INT4": {"bias_weight": 42, "deep_weight": 11, "distant_weight": 11},
+    "INT5": {"bias_weight": 28, "deep_weight": 11},
+    "MM1": {"bias_weight": 38, "loop_weight": 12},
+    "MM2": {"bias_weight": 34, "noise_weight": 6},
+    "MM3": {"bias_weight": 46, "distant_weight": 10},
+    "MM4": {"bias_weight": 32, "short_weight": 10},
+    "MM5": {"bias_weight": 40, "local_weight": 6, "noise_weight": 5},
+    "SERV1": {"bias_weight": 55, "working_set": 140},
+    "SERV2": {"bias_weight": 60, "working_set": 170},
+    "SERV3": {"bias_weight": 64, "working_set": 200},
+    "SERV4": {"bias_weight": 57, "working_set": 130},
+    "SERV5": {"bias_weight": 53, "working_set": 110},
+}
+
+# Extra per-trace knob outside CategoryProfile: share of phase-flipping
+# biased branches (the dynamic-detection pathology).  SERV3 suffers most.
+_PHASE_WEIGHT: dict[str, int] = {
+    "SERV1": 2,
+    "SERV2": 3,
+    "SERV3": 8,
+    "SERV4": 2,
+    "SERV5": 1,
+    "FP1": 1,
+    "MM5": 2,
+}
+
+
+def trace_names(categories: list[str] | None = None) -> list[str]:
+    """Names of all suite traces, optionally filtered by category."""
+    if categories is None:
+        return list(SUITE_NAMES)
+    wanted = set(categories)
+    return [name for name in SUITE_NAMES if _category_of(name) in wanted]
+
+
+def _category_of(name: str) -> str:
+    prefix = name.rstrip("0123456789")
+    if prefix not in ("SPEC", "FP", "INT", "MM", "SERV"):
+        raise ValueError(f"unknown trace name {name!r}")
+    return prefix
+
+
+def _seed_of(name: str) -> int:
+    digest = hashlib.sha256(name.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class _PcSpace:
+    """Hands out disjoint pc blocks so scenes never alias by accident.
+
+    Each block base gets hashed low bits: real branch addresses have
+    entropy in the index bits of a pc-indexed table, and without it every
+    block would collide at index 0 of the bimodal base predictor.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._next = 0x0040_0000 + (seed & 0xFFF) * 0x10_0000
+
+    def block(self) -> int:
+        """Reserve and return the next pc block base."""
+        base = self._next
+        self._next += 0x1_0000
+        return base + (mix64(base) & 0x3FF8)
+
+
+def _build_scenes(
+    name: str, profile: CategoryProfile, seed: int
+) -> list[tuple[Scene, float]]:
+    """Assemble the weighted scene mix for one trace."""
+    pcs = _PcSpace(seed)
+    scenes: list[tuple[Scene, float]] = []
+
+    # Biased padding spread over the static working set.
+    per_run_weight = profile.bias_weight / profile.working_set
+    for _ in range(profile.working_set):
+        scenes.append((BiasedRun(pcs.block(), profile.biased_run_len), per_run_weight))
+
+    # Phase-flipping "biased" branches (SERV pathology).
+    phase_weight = _PHASE_WEIGHT.get(name, 0)
+    if phase_weight:
+        for part in range(3):
+            scenes.append(
+                (
+                    PhasedBiased(
+                        pcs.block(),
+                        count=profile.biased_run_len,
+                        flip_after=140 + 60 * part,
+                    ),
+                    phase_weight / 3,
+                )
+            )
+
+    # Short-range-predictable content.
+    for depth in (3, 4, 5, 6):
+        scenes.append((ShortCorrelation(pcs.block(), depth), profile.short_weight / 4))
+
+    # Loops (constant trip counts feed the loop-count predictor).
+    loop_count = len(profile.loop_trips) + 1
+    for trip in profile.loop_trips:
+        body = BiasedRun(pcs.block(), 3)
+        scenes.append(
+            (ConstantLoop(pcs.block(), trip, body), profile.loop_weight / loop_count)
+        )
+    scenes.append(
+        (
+            VariableLoop(pcs.block(), [12, 17, 23]),
+            profile.loop_weight / loop_count,
+        )
+    )
+
+    # Correlation scenes at the four calibrated distances.  Raw distances:
+    # near ~32, distant ~140, rs ~280, deep ~1000; the filtered and
+    # RS-compressed distances are discussed in cfg.py.
+    if profile.near_weight:
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-near",
+                    biased_filler=24,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(4)],
+                    filler_repeats=2,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(2)],
+                    noise=0.02,
+                    pre_pad=30,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(4)],
+                ),
+                float(profile.near_weight),
+            )
+        )
+    if profile.distant_weight:
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-distant",
+                    biased_filler=86,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(6)],
+                    filler_repeats=4,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(3)],
+                    noise=0.02,
+                    pre_pad=45,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(6)],
+                ),
+                float(profile.distant_weight),
+            )
+        )
+    if profile.rs_weight:
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-rs",
+                    biased_filler=84,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(20)],
+                    filler_repeats=6,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(3)],
+                    noise=0.02,
+                    pre_pad=125,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(8)],
+                ),
+                float(profile.rs_weight),
+            )
+        )
+    if profile.deep_weight:
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-deep",
+                    biased_filler=151,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(6)],
+                    filler_repeats=33,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(3)],
+                    noise=0.02,
+                    pre_pad=180,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(6)],
+                ),
+                float(profile.deep_weight),
+            )
+        )
+
+    # A ladder of mid-range correlation rungs.  Raw distances ~27, 41,
+    # 61 and 93 are each first covered by one more tagged table of a
+    # conventional TAGE (whose history ladders reach 26/40/54/70/94...),
+    # so the Figure 10 sweep recovers them one rung per added table; the
+    # non-biased filler repeats give the rungs spread in *compressed*
+    # (BF-GHR) depth as well.
+    ladder = [
+        # (biased_filler, filler_pcs, repeats, pre_pad)  -> raw distance
+        (22, 2, 2, 20),  # 27
+        (28, 4, 3, 25),  # 41
+        (12, 4, 12, 30),  # 61
+        (50, 6, 7, 40),  # 93
+        (36, 16, 5, 30),  # 117, dense: compressed depth ~49 (BF table 6)
+    ]
+    # Each trace carries only two rungs (selected by its seed) at a
+    # healthy weight: spreading all rungs over every trace would starve
+    # each correlation band of the ~20+ activations tag-matching
+    # predictors need to converge.
+    first = seed % len(ladder)
+    second = (first + 1 + (seed >> 8) % (len(ladder) - 1)) % len(ladder)
+    chosen_rungs = {first, second}
+    rung_weight = 8.0
+    for rung, (biased, n_pcs, repeats, pre_pad) in enumerate(ladder):
+        if rung not in chosen_rungs:
+            continue
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-ladder{rung}",
+                    biased_filler=biased,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(n_pcs)],
+                    filler_repeats=repeats,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(2)],
+                    noise=0.02,
+                    pre_pad=pre_pad,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(4)],
+                ),
+                rung_weight,
+            )
+        )
+
+    # Positional-history motif (Figure 4).
+    base = pcs.block()
+    scenes.append(
+        (
+            Fig4Loop(
+                leader_pc=base,
+                loop_pc=base + 0x100,
+                x_pc=base + 0x200,
+                iterations=24,
+                special_index=20,
+                flag=f"{name}-fig4",
+            ),
+            2.0,
+        )
+    )
+
+    # Local-history pathology branches.
+    if profile.local_weight:
+        patterns = (
+            [True, True, True, False],
+            [True, False, False, True, True],
+            [True, True, False],
+        )
+        for pattern in patterns:
+            scenes.append(
+                (LocalPeriodic(pcs.block(), list(pattern)), profile.local_weight / 3)
+            )
+
+    # Irreducible noise floor.  Weights are scaled down so the floor sits
+    # near the paper's ~1% branch misprediction rates; the profile values
+    # keep their relative per-trace meaning.
+    noise_scale = 0.35
+    if profile.noise_weight:
+        for p_taken in (profile.noise_p, 0.5):
+            scenes.append(
+                (
+                    NoisyBranch(pcs.block(), p_taken),
+                    profile.noise_weight * noise_scale / 2,
+                )
+            )
+
+    return scenes
+
+
+def build_program(name: str) -> Program:
+    """Build the deterministic program for a suite trace name."""
+    category = _category_of(name)
+    profile = profile_for(category)
+    tuning = _TRACE_TUNING.get(name, {})
+    if tuning:
+        profile = profile.with_overrides(**tuning)
+    seed = _seed_of(name)
+    scenes = _build_scenes(name, profile, seed)
+    return Program(name=name, category=category, scenes=scenes, seed=seed)
+
+
+def build_trace(name: str, branches: int | None = None) -> Trace:
+    """Generate one suite trace.
+
+    ``branches`` overrides the default budget (long SPEC traces scale it
+    by their profile's length factor).
+    """
+    category = _category_of(name)
+    profile = profile_for(category)
+    if branches is None:
+        branches = round(DEFAULT_BRANCHES * profile.length_factor)
+    return build_program(name).generate(branches)
+
+
+def build_suite(
+    branches: int | None = None, categories: list[str] | None = None
+) -> list[Trace]:
+    """Generate the whole suite (or the selected categories)."""
+    return [build_trace(name, branches) for name in trace_names(categories)]

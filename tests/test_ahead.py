@@ -1,0 +1,72 @@
+"""Tests for the ahead-pipelined BF-Neural (future-work model)."""
+
+import pytest
+
+from repro.core.ahead import AheadPipelinedBFNeural
+from repro.core.bfneural import BFNeural, BFNeuralConfig
+from repro.sim import simulate
+from repro.workloads import build_trace
+from tests.test_neural_predictors import correlated_stream, follower_misses
+
+
+def small_config(**overrides):
+    defaults = dict(
+        bst_entries=1024,
+        bias_entries=256,
+        wm_rows=256,
+        ht=8,
+        wrs_entries=4096,
+        rs_depth=16,
+        with_loop_predictor=False,
+    )
+    defaults.update(overrides)
+    return BFNeuralConfig(**defaults)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = AheadPipelinedBFNeural()
+        assert p.ahead == 2
+
+    def test_invalid_ahead(self):
+        with pytest.raises(ValueError):
+            AheadPipelinedBFNeural(ahead=-1)
+
+
+class TestBehaviour:
+    def test_learns_biased_branch(self):
+        p = AheadPipelinedBFNeural(small_config(), ahead=2)
+        p.predict(0x40)
+        p.train(0x40, True)
+        for _ in range(30):
+            assert p.predict(0x40)
+            p.train(0x40, True)
+
+    def test_still_captures_distant_correlation(self):
+        """Staleness shifts the history by `ahead`, but the leader is
+        deterministic so the correlation survives pipelining."""
+        p = AheadPipelinedBFNeural(small_config(), ahead=2)
+        misses, seen = follower_misses(p, correlated_stream(34, activations=400), skip=250)
+        assert misses < 0.25 * seen
+
+    def test_ahead_zero_isolates_pc_free_index(self):
+        p = AheadPipelinedBFNeural(small_config(), ahead=0)
+        misses, seen = follower_misses(p, correlated_stream(10, activations=300), skip=150)
+        assert misses < 0.25 * seen
+
+    def test_snapshots_bounded(self):
+        p = AheadPipelinedBFNeural(small_config(), ahead=3)
+        for i in range(50):
+            p.predict(0x40 + 4 * (i % 5))
+            p.train(0x40 + 4 * (i % 5), bool(i & 1))
+        assert len(p._snapshots) <= 3
+
+
+class TestAccuracyCost:
+    def test_pipelining_costs_bounded_accuracy(self):
+        """The future-work question: how much does ahead-pipelining cost?
+        It must degrade, but stay in the same accuracy class."""
+        trace = build_trace("SPEC02", 12000)
+        base = simulate(BFNeural(), trace)
+        ahead = simulate(AheadPipelinedBFNeural(ahead=2), trace)
+        assert ahead.mpki < base.mpki * 1.6

@@ -1,0 +1,101 @@
+"""Tests for the misprediction attribution tool."""
+
+import pytest
+
+from repro.predictors import AlwaysTaken, Bimodal
+from repro.sim.attribution import (
+    AttributionResult,
+    BranchAttribution,
+    attribute,
+    format_attribution,
+)
+from repro.trace.records import Trace, TraceMetadata
+
+
+def trace_of(events, name="t"):
+    meta = TraceMetadata(name=name, category="SPEC", instruction_count=max(1, len(events) * 5))
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+class TestAttribute:
+    def test_counts_per_branch(self):
+        events = [(4, True), (4, False), (8, False), (8, False)]
+        result = attribute(AlwaysTaken(), trace_of(events))
+        assert result.branches[4].executions == 2
+        assert result.branches[4].mispredictions == 1
+        assert result.branches[8].mispredictions == 2
+
+    def test_total(self):
+        events = [(4, False)] * 5
+        result = attribute(AlwaysTaken(), trace_of(events))
+        assert result.total_mispredictions == 5
+
+    def test_predictor_trains_during_attribution(self):
+        events = [(4, False)] * 50
+        result = attribute(Bimodal(), trace_of(events))
+        assert result.branches[4].mispredictions <= 2
+
+    def test_provider_tracking(self):
+        events = [(4, False)] * 3
+        result = attribute(AlwaysTaken(), trace_of(events), track_providers=True)
+        assert result.provider_misses == {"always-taken": 3}
+
+    def test_no_provider_tracking_by_default(self):
+        result = attribute(AlwaysTaken(), trace_of([(4, False)]))
+        assert result.provider_misses == {}
+
+
+class TestRanking:
+    def make_result(self):
+        return AttributionResult(
+            trace_name="t",
+            predictor_name="p",
+            branches={
+                1: BranchAttribution(1, 10, 8),
+                2: BranchAttribution(2, 10, 3),
+                3: BranchAttribution(3, 10, 5),
+            },
+        )
+
+    def test_top_offenders_order(self):
+        result = self.make_result()
+        assert [b.pc for b in result.top_offenders(2)] == [1, 3]
+
+    def test_concentration(self):
+        result = self.make_result()
+        assert result.concentration(1) == pytest.approx(8 / 16)
+        assert result.concentration(10) == 1.0
+
+    def test_concentration_empty(self):
+        result = AttributionResult(trace_name="t", predictor_name="p")
+        assert result.concentration() == 0.0
+
+    def test_misprediction_rate(self):
+        assert BranchAttribution(1, 4, 1).misprediction_rate == 0.25
+        assert BranchAttribution(1, 0, 0).misprediction_rate == 0.0
+
+
+class TestFormatting:
+    def test_format_contains_offenders(self):
+        events = [(0xABC, False)] * 4
+        result = attribute(AlwaysTaken(), trace_of(events, name="TX"))
+        text = format_attribution(result, count=3)
+        assert "TX" in text
+        assert "0xabc" in text
+        assert "100.0%" in text
+
+
+class TestCLIDiagnose:
+    def test_diagnose_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["diagnose", "FP1", "--predictor", "bimodal",
+                     "--branches", "800", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "misprediction attribution" in out
+
+    def test_diagnose_unknown_predictor(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["diagnose", "FP1", "--predictor", "nope"])

@@ -1,0 +1,37 @@
+"""Tests for the BranchPredictor interface contract and PredictorStats."""
+
+import pytest
+
+from repro.predictors import AlwaysTaken
+from repro.predictors.base import BranchPredictor, PredictorStats
+
+
+class TestPredictorStats:
+    def test_counting(self):
+        stats = PredictorStats()
+        stats.count("T3")
+        stats.count("T3")
+        stats.count("base")
+        assert stats.provider_hits == {"T3": 2, "base": 1}
+
+
+class TestInterfaceDefaults:
+    def test_default_provider_is_name(self):
+        predictor = AlwaysTaken()
+        assert predictor.provider == "always-taken"
+
+    def test_default_reset_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            AlwaysTaken().reset()
+
+    def test_abstract_methods_enforced(self):
+        with pytest.raises(TypeError):
+            BranchPredictor()  # type: ignore[abstract]
+
+    def test_energy_fallback_for_zero_storage(self):
+        from repro.sim.energy import profile_of
+
+        profile = profile_of(AlwaysTaken())
+        assert profile.arrays == []
+        assert profile.total_reads == 0
+        assert profile.energy_units == 0

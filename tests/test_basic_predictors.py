@@ -1,0 +1,114 @@
+"""Tests for the trivial and table-based baseline predictors."""
+
+import pytest
+
+from repro.predictors import AlwaysTaken, Bimodal, GShare
+from repro.sim import simulate
+from repro.trace.records import Trace, TraceMetadata
+
+
+def trace_of(events, name="t"):
+    meta = TraceMetadata(name=name, category="SPEC", instruction_count=max(1, len(events) * 5))
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+class TestAlwaysTaken:
+    def test_always_predicts_taken(self):
+        p = AlwaysTaken()
+        assert p.predict(0x4)
+        p.train(0x4, False)
+        assert p.predict(0x4)
+
+    def test_storage_is_free(self):
+        assert AlwaysTaken().storage_bits() == 0
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        p = Bimodal(entries=1024)
+        for _ in range(4):
+            p.train(0x40, False)
+        assert not p.predict(0x40)
+
+    def test_hysteresis_tolerates_one_flip(self):
+        p = Bimodal(entries=1024)
+        for _ in range(4):
+            p.train(0x40, True)
+        p.train(0x40, False)
+        assert p.predict(0x40)
+
+    def test_counter_accessor(self):
+        p = Bimodal(entries=1024)
+        assert p.counter(0x40) == 2  # weakly taken initial state
+        p.train(0x40, True)
+        assert p.counter(0x40) == 3
+
+    def test_aliasing_by_index_mask(self):
+        p = Bimodal(entries=16)
+        for _ in range(4):
+            p.train(0x0, False)
+        # pc 16 aliases to the same entry
+        assert not p.predict(16)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Bimodal(entries=1000)
+
+    def test_storage_bits(self):
+        assert Bimodal(entries=1024, counter_bits=2).storage_bits() == 2048
+
+    def test_beats_always_taken_on_not_taken_branch(self):
+        events = [(0x40, False)] * 200
+        bimodal = simulate(Bimodal(), trace_of(events))
+        always = simulate(AlwaysTaken(), trace_of(events))
+        assert bimodal.mispredictions < always.mispredictions
+
+
+class TestGShare:
+    def test_learns_history_pattern(self):
+        """A branch alternating with its own last outcome is learnable."""
+        p = GShare(entries=4096, history_bits=8)
+        mispredicts = 0
+        outcome = True
+        for i in range(400):
+            pred = p.predict(0x100)
+            if pred != outcome:
+                mispredicts += 1
+            p.train(0x100, outcome)
+            outcome = not outcome
+        assert mispredicts < 40
+
+    def test_history_register_shifts(self):
+        p = GShare(history_bits=4)
+        p.train(0x0, True)
+        p.train(0x0, False)
+        p.train(0x0, True)
+        assert p.history == 0b101
+
+    def test_history_bounded(self):
+        p = GShare(history_bits=4)
+        for _ in range(100):
+            p.train(0x0, True)
+        assert p.history == 0b1111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GShare(entries=100)
+        with pytest.raises(ValueError):
+            GShare(history_bits=0)
+
+    def test_storage_bits(self):
+        p = GShare(entries=1024, history_bits=10)
+        assert p.storage_bits() == 1024 * 2 + 10
+
+    def test_beats_bimodal_on_correlated_pattern(self):
+        """gshare separates contexts a bimodal counter cannot."""
+        events = []
+        flag = True
+        for i in range(2000):
+            flag = (i // 2) % 2 == 0
+            events.append((0x10, flag))
+            events.append((0x20, flag))  # copies the previous branch
+        gshare = simulate(GShare(), trace_of(events))
+        bimodal = simulate(Bimodal(), trace_of(events))
+        assert gshare.mispredictions < bimodal.mispredictions

@@ -1,0 +1,208 @@
+"""Tests for the BF-Neural predictor (Algorithms 2 and 3)."""
+
+import pytest
+
+from repro.core.bfneural import BFNeural, BFNeuralConfig, quantize_distance
+from repro.core.bst import BranchStatus
+from repro.core.configs import bf_neural_32kb, bf_neural_64kb
+from repro.sim import simulate
+from repro.trace.records import Trace, TraceMetadata
+from tests.test_neural_predictors import correlated_stream, follower_misses
+
+
+def small_config(**overrides):
+    defaults = dict(
+        bst_entries=1024,
+        bias_entries=256,
+        wm_rows=256,
+        ht=8,
+        wrs_entries=4096,
+        rs_depth=16,
+        with_loop_predictor=False,
+    )
+    defaults.update(overrides)
+    return BFNeuralConfig(**defaults)
+
+
+class TestQuantizeDistance:
+    def test_small_distances_exact(self):
+        for d in range(4):
+            assert quantize_distance(d) == d
+
+    def test_monotone_nondecreasing(self):
+        values = [quantize_distance(d) for d in range(1, 3000)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_nearby_distances_share_buckets(self):
+        assert quantize_distance(1000) == quantize_distance(1010)
+
+    def test_far_distances_differ(self):
+        assert quantize_distance(30) != quantize_distance(300)
+
+
+class TestPredictionPath:
+    def test_unknown_branch_uses_default(self):
+        p = BFNeural(small_config(default_prediction=True))
+        assert p.predict(0x40)
+        assert p.provider == "default"
+
+    def test_biased_branch_predicted_from_bst(self):
+        p = BFNeural(small_config())
+        p.predict(0x40)
+        p.train(0x40, False)
+        assert not p.predict(0x40)
+        assert p.provider == "bst"
+
+    def test_non_biased_branch_uses_weights(self):
+        p = BFNeural(small_config())
+        p.predict(0x40)
+        p.train(0x40, False)
+        p.predict(0x40)
+        p.train(0x40, True)  # now non-biased
+        p.predict(0x40)
+        assert p.provider in ("neural", "loop")
+
+    def test_biased_branches_never_touch_rs(self):
+        p = BFNeural(small_config())
+        for _ in range(20):
+            p.predict(0x40)
+            p.train(0x40, True)
+        assert len(p.rs) == 0
+
+    def test_non_biased_branches_enter_rs(self):
+        p = BFNeural(small_config())
+        p.predict(0x40)
+        p.train(0x40, True)
+        p.predict(0x40)
+        p.train(0x40, False)
+        p.predict(0x40)
+        p.train(0x40, True)
+        assert p.rs.find(0x40) is not None
+
+
+class TestLearning:
+    def test_learns_biased_branch_instantly(self):
+        p = BFNeural(small_config())
+        p.predict(0x40)
+        p.train(0x40, True)
+        misses = 0
+        for _ in range(100):
+            if not p.predict(0x40):
+                misses += 1
+            p.train(0x40, True)
+        assert misses == 0
+
+    def test_captures_short_correlation(self):
+        p = BFNeural(small_config())
+        misses, seen = follower_misses(p, correlated_stream(6, activations=400), skip=200)
+        assert misses < 0.15 * seen
+
+    def test_captures_distant_correlation_beyond_unfiltered_reach(self):
+        """The defining capability: biased filler is filtered out, so a
+        correlation 33 branches back in raw history sits at RS depth 1."""
+        p = BFNeural(small_config())
+        misses, seen = follower_misses(p, correlated_stream(34, activations=400), skip=200)
+        assert misses < 0.15 * seen
+
+    def test_captures_very_distant_correlation(self):
+        p = BFNeural(small_config(position_cap=2048))
+        misses, seen = follower_misses(p, correlated_stream(300, activations=300), skip=150)
+        assert misses < 0.2 * seen
+
+
+class TestAblationFlags:
+    def test_unfiltered_history_mode_misses_distant(self):
+        config = small_config(filter_biased_history=False, use_rs=False)
+        p = BFNeural(config)
+        misses, seen = follower_misses(p, correlated_stream(80, activations=300), skip=150)
+        assert misses > 0.25 * seen
+
+    def test_filtered_history_without_rs_catches_biased_filler(self):
+        config = small_config(filter_biased_history=True, use_rs=False)
+        p = BFNeural(config)
+        misses, seen = follower_misses(p, correlated_stream(80, activations=300), skip=150)
+        assert misses < 0.15 * seen
+
+    def test_rs_flag_controls_dedup(self):
+        assert BFNeural(small_config(use_rs=True)).rs.dedup
+        assert not BFNeural(small_config(use_rs=False)).rs.dedup
+
+
+class TestLoopComponent:
+    def test_loop_predictor_catches_long_constant_loop(self):
+        config = small_config(with_loop_predictor=True, rs_depth=4, ht=4)
+        p = BFNeural(config)
+        trip = 40
+        events = []
+        for _ in range(50):
+            for i in range(trip):
+                events.append((0x800, i < trip - 1))
+        meta = TraceMetadata(name="loop", category="SPEC", instruction_count=len(events) * 5)
+        with_loop = simulate(p, Trace(meta, [e[0] for e in events], [e[1] for e in events]))
+        no_loop = simulate(
+            BFNeural(small_config(rs_depth=4, ht=4)),
+            Trace(meta, [e[0] for e in events], [e[1] for e in events]),
+        )
+        assert with_loop.mispredictions <= no_loop.mispredictions
+
+
+class TestTrainingRules:
+    def test_weights_respect_width(self):
+        config = small_config(weight_bits=6)
+        p = BFNeural(config)
+        events = correlated_stream(6, activations=300)
+        for pc, taken in events:
+            p.predict(pc)
+            p.train(pc, taken)
+        limit = (1 << 5) - 1
+        assert all(-limit - 1 <= w <= limit for w in p._wb)
+        assert all(-limit - 1 <= w <= limit for w in p._wrs)
+        for row in p._wm:
+            assert all(-limit - 1 <= w <= limit for w in row)
+
+    def test_transition_to_non_biased_trains_weights(self):
+        p = BFNeural(small_config())
+        p.predict(0x40)
+        p.train(0x40, True)
+        before = sum(map(abs, p._wb))
+        p.predict(0x40)
+        p.train(0x40, False)  # mispredicted biased branch -> transition
+        after = sum(map(abs, p._wb))
+        assert p.bst.status(0x40) == BranchStatus.NON_BIASED
+        assert after >= before
+
+    def test_adaptive_theta_bounded_below(self):
+        p = BFNeural(small_config(initial_theta=2))
+        events = correlated_stream(6, activations=200)
+        for pc, taken in events:
+            p.predict(pc)
+            p.train(pc, taken)
+        assert p.theta >= 1
+
+
+class TestConfigs:
+    def test_64kb_budget(self):
+        p = bf_neural_64kb()
+        kb = p.storage_bits() / 8 / 1024
+        assert 50 < kb < 75
+
+    def test_32kb_budget(self):
+        p = bf_neural_32kb()
+        kb = p.storage_bits() / 8 / 1024
+        assert 25 < kb < 40
+
+    def test_32kb_worse_than_64kb(self):
+        from repro.workloads import build_trace
+
+        trace = build_trace("SPEC03", 15000)
+        big = simulate(bf_neural_64kb(), trace)
+        small = simulate(bf_neural_32kb(), trace)
+        # Paper: 2.49 (64KB) vs 2.73 (32KB) — smaller must not be better
+        # by more than noise.
+        assert small.mpki > big.mpki * 0.95
+
+    def test_invalid_stage(self):
+        from repro.experiments.common import bf_neural_stage
+
+        with pytest.raises(ValueError):
+            bf_neural_stage(4)

@@ -1,0 +1,80 @@
+"""Tests for the idealized BF-Neural (Algorithm 1) and the oracle."""
+
+from repro.core.bfneural_ideal import IdealBFNeural, oracle_from_trace
+from repro.experiments.common import bf_neural_stage
+from repro.sim import simulate
+from repro.workloads import build_trace
+from tests.test_neural_predictors import correlated_stream, follower_misses
+
+
+def oracle_for_stream(events):
+    """Whole-stream profiling oracle for synthetic event lists."""
+    takens = {}
+    for pc, taken in events:
+        takens.setdefault(pc, set()).add(taken)
+
+    def classify(pc):
+        directions = takens.get(pc)
+        if directions is not None and len(directions) == 1:
+            return next(iter(directions))
+        return None
+
+    return classify
+
+
+class TestOracleFromTrace:
+    def test_classifies_biased_and_non_biased(self):
+        trace = build_trace("FP1", 4000)
+        oracle = oracle_from_trace(trace)
+        from repro.trace.stats import compute_stats
+
+        profiles = compute_stats(trace).profiles
+        for pc, profile in list(profiles.items())[:200]:
+            if profile.is_biased:
+                assert oracle(pc) == (profile.taken_count > 0)
+            else:
+                assert oracle(pc) is None
+
+    def test_unknown_pc_is_non_biased(self):
+        trace = build_trace("FP1", 1000)
+        assert oracle_from_trace(trace)(0xDEADBEEF) is None
+
+
+class TestIdealBFNeural:
+    def test_biased_branches_never_mispredicted(self):
+        events = [(0x40, True), (0x44, False)] * 50
+        p = IdealBFNeural(oracle_for_stream(events))
+        misses = 0
+        for pc, taken in events:
+            if p.predict(pc) != taken:
+                misses += 1
+            p.train(pc, taken)
+        assert misses == 0
+
+    def test_captures_distant_correlation(self):
+        events = correlated_stream(100, activations=400)
+        p = IdealBFNeural(oracle_for_stream(events))
+        misses, seen = follower_misses(p, events, skip=200)
+        assert misses < 0.15 * seen
+
+    def test_biased_branches_stay_out_of_rs(self):
+        events = [(0x40, True)] * 20
+        p = IdealBFNeural(oracle_for_stream(events))
+        for pc, taken in events:
+            p.predict(pc)
+            p.train(pc, taken)
+        assert len(p.rs) == 0
+
+    def test_storage_accounting(self):
+        p = IdealBFNeural(lambda pc: None)
+        assert p.storage_bits() > 0
+
+    def test_oracle_beats_dynamic_detection_on_phase_changes(self):
+        """The paper's §VI-D claim: static profile-assisted classification
+        recovers the SERV losses caused by dynamic detection."""
+        trace = build_trace("SERV3", 20000)
+        oracle_result = simulate(IdealBFNeural(oracle_from_trace(trace)), trace)
+        dynamic_result = simulate(bf_neural_stage(3), trace)
+        # The oracle variant lacks the unfiltered Wm/loop components, so
+        # only require it to be competitive despite that handicap.
+        assert oracle_result.mpki < dynamic_result.mpki * 1.3

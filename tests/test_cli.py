@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import _load_trace, _predictor_registry, build_parser, main
+
+
+class TestRegistry:
+    def test_all_entries_construct(self):
+        for name, factory in _predictor_registry().items():
+            predictor = factory()
+            assert predictor.predict(0x40) in (True, False)
+
+    def test_expected_names_present(self):
+        registry = _predictor_registry()
+        for name in ("bimodal", "gshare", "filter", "oh-snap", "tage10",
+                     "bf-tage10", "bf-neural", "bf-neural-ahead"):
+            assert name in registry
+
+
+class TestLoadTrace:
+    def test_suite_name(self):
+        trace = _load_trace("FP1", 1000)
+        assert trace.name == "FP1"
+        assert len(trace) >= 1000
+
+    def test_bfbp_file(self, tmp_path):
+        from repro.trace.io import write_trace
+        from repro.workloads import build_trace
+
+        trace = build_trace("MM1", 800)
+        path = tmp_path / "mm1.bfbp"
+        write_trace(trace, path)
+        loaded = _load_trace(str(path), None)
+        assert loaded.pcs == trace.pcs
+
+    def test_file_with_truncation(self, tmp_path):
+        from repro.trace.io import write_trace
+        from repro.workloads import build_trace
+
+        trace = build_trace("MM1", 800)
+        path = tmp_path / "mm1.bfbp"
+        write_trace(trace, path)
+        loaded = _load_trace(str(path), 100)
+        assert len(loaded) == 100
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            _load_trace("NOSUCH9", None)
+
+
+class TestSubcommands:
+    def test_suite_lists_names(self, capsys):
+        assert main(["suite", "--categories", "MM"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["MM1", "MM2", "MM3", "MM4", "MM5"]
+
+    def test_generate_writes_files(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path), "--traces", "FP1", "--branches", "600"]
+        )
+        assert code == 0
+        assert (tmp_path / "FP1.bfbp").exists()
+
+    def test_stats_reports(self, capsys):
+        assert main(["stats", "FP1", "--branches", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "FP1" in out and "%" in out
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "FP1", "--predictors", "bimodal", "--branches", "600"]
+        )
+        assert code == 0
+        assert "bimodal" in capsys.readouterr().out
+
+    def test_simulate_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "FP1", "--predictors", "oracle9000"])
+
+    def test_storage_lists_budgets(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "bf-neural" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,160 @@
+"""Tests for saturating and probabilistic counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import (
+    ProbabilisticCounter,
+    SaturatingCounter,
+    SignedSaturatingCounter,
+    saturating_add,
+)
+from repro.common.rng import XorShift64
+
+
+class TestSaturatingCounter:
+    def test_default_starts_weakly_taken(self):
+        counter = SaturatingCounter(2)
+        assert counter.value == 2
+        assert counter.predict()
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(2)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        assert counter.is_saturated()
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(2)
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+        assert counter.is_saturated()
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(2, initial=3)
+        counter.update(False)
+        assert counter.predict()  # one not-taken does not flip a strong state
+        counter.update(False)
+        assert not counter.predict()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(min_value=1, max_value=6))
+    def test_stays_in_range(self, outcomes, bits):
+        counter = SaturatingCounter(bits)
+        for taken in outcomes:
+            counter.update(taken)
+            assert 0 <= counter.value <= counter.maximum
+
+
+class TestSignedSaturatingCounter:
+    def test_starts_at_zero_predicts_taken(self):
+        counter = SignedSaturatingCounter(3)
+        assert counter.value == 0
+        assert counter.predict()
+
+    def test_range_3bit(self):
+        counter = SignedSaturatingCounter(3)
+        assert counter.minimum == -4
+        assert counter.maximum == 3
+
+    def test_saturates(self):
+        counter = SignedSaturatingCounter(3)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        for _ in range(20):
+            counter.update(False)
+        assert counter.value == -4
+
+    def test_weak_states(self):
+        assert SignedSaturatingCounter(3, initial=0).is_weak()
+        assert SignedSaturatingCounter(3, initial=-1).is_weak()
+        assert not SignedSaturatingCounter(3, initial=1).is_weak()
+
+    def test_requires_two_bits(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(1)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(min_value=2, max_value=8))
+    def test_stays_in_range(self, updates, bits):
+        counter = SignedSaturatingCounter(bits)
+        for increase in updates:
+            counter.update(increase)
+            assert counter.minimum <= counter.value <= counter.maximum
+
+
+class TestSaturatingAdd:
+    def test_clamps_high(self):
+        assert saturating_add(120, 10, -128, 127) == 127
+
+    def test_clamps_low(self):
+        assert saturating_add(-120, -10, -128, 127) == -128
+
+    def test_normal(self):
+        assert saturating_add(5, -3, -128, 127) == 2
+
+    @given(
+        st.integers(min_value=-128, max_value=127),
+        st.integers(min_value=-10, max_value=10),
+    )
+    def test_always_in_range(self, value, delta):
+        result = saturating_add(value, delta, -128, 127)
+        assert -128 <= result <= 127
+
+
+class TestProbabilisticCounter:
+    def test_deterministic_below_threshold(self):
+        counter = ProbabilisticCounter(3, rate=3, deterministic_until=2)
+        assert counter.increment()
+        assert counter.increment()
+        assert counter.value == 2
+
+    def test_rate_zero_always_increments(self):
+        counter = ProbabilisticCounter(3, rate=0)
+        for expected in range(1, 8):
+            assert counter.increment()
+            assert counter.value == expected
+
+    def test_saturation_stops_increments(self):
+        counter = ProbabilisticCounter(2, rate=0)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert not counter.increment()
+
+    def test_probabilistic_rate(self):
+        # With rate=3 (p=1/8), reaching value 2 from 1 takes ~8 tries.
+        rng = XorShift64(77)
+        attempts = []
+        for _ in range(200):
+            counter = ProbabilisticCounter(4, rate=3, deterministic_until=1, rng=rng)
+            counter.increment()  # deterministic step to 1
+            count = 0
+            while counter.value < 2:
+                counter.increment()
+                count += 1
+            attempts.append(count)
+        average = sum(attempts) / len(attempts)
+        assert 5 < average < 12
+
+    def test_reset(self):
+        counter = ProbabilisticCounter(3, rate=0)
+        counter.increment()
+        counter.reset()
+        assert counter.value == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProbabilisticCounter(0)
+        with pytest.raises(ValueError):
+            ProbabilisticCounter(3, rate=-1)

@@ -1,0 +1,97 @@
+"""Tests for the access/energy accounting model."""
+
+import pytest
+
+from repro.core import BFTage, BFTageConfig, bf_neural_64kb
+from repro.predictors import Bimodal, ISLTage, Tage, TageConfig
+from repro.sim.energy import (
+    AccessProfile,
+    ArrayAccess,
+    profile_bf_neural,
+    profile_isl,
+    profile_of,
+    profile_tage,
+)
+
+
+class TestArrayAccess:
+    def test_energy_grows_with_size(self):
+        small = ArrayAccess("a", entries=1024, entry_bits=8)
+        large = ArrayAccess("a", entries=4096, entry_bits=8)
+        assert large.energy_units == pytest.approx(2 * small.energy_units)
+
+    def test_energy_scales_with_reads(self):
+        once = ArrayAccess("a", 1024, 8, reads_per_prediction=1)
+        thrice = ArrayAccess("a", 1024, 8, reads_per_prediction=3)
+        assert thrice.energy_units == pytest.approx(3 * once.energy_units)
+
+
+class TestProfiles:
+    def test_tage_profile_counts_every_table(self):
+        predictor = Tage(TageConfig.for_tables(10))
+        profile = profile_tage(predictor)
+        names = [a.name for a in profile.arrays]
+        assert "base-bimodal" in names
+        assert sum(1 for n in names if n.startswith("T")) == 10
+
+    def test_more_tables_cost_more_energy(self):
+        """The §V argument: fewer tables -> lower energy/prediction."""
+        e10 = profile_tage(Tage(TageConfig.for_tables(10))).energy_units
+        e15 = profile_tage(Tage(TageConfig.for_tables(15))).energy_units
+        assert e15 > e10
+
+    def test_bf_tage_10_cheaper_than_tage_15(self):
+        """The headline energy claim at matched accuracy."""
+        bf10 = profile_tage(BFTage(BFTageConfig.for_tables(10))).energy_units
+        t15 = profile_tage(Tage(TageConfig.for_tables(15))).energy_units
+        assert bf10 < t15
+
+    def test_bf_tage_profile_includes_bst(self):
+        profile = profile_tage(BFTage(BFTageConfig.for_tables(10)))
+        assert any(a.name == "bst" for a in profile.arrays)
+
+    def test_isl_overlay_adds_components(self):
+        isl = ISLTage(TageConfig.for_tables(10))
+        base = profile_tage(isl.tage)
+        overlay = profile_isl(isl)
+        assert len(overlay.arrays) > len(base.arrays)
+        assert any(a.name == "loop" for a in overlay.arrays)
+        assert any(a.name == "sc" for a in overlay.arrays)
+
+    def test_bf_neural_profile_gated_by_bias_fraction(self):
+        predictor = bf_neural_64kb()
+        cold = profile_bf_neural(predictor)
+        # Make most branches non-biased, raising the measured fraction.
+        for i in range(400):
+            pc = 0x40 + 8 * (i % 20)
+            predictor.predict(pc)
+            predictor.train(pc, bool((i // 20) & 1))
+        warm = profile_bf_neural(predictor)
+        assert warm.total_reads > cold.total_reads
+
+    def test_dispatch(self):
+        assert profile_of(Tage(TageConfig.for_tables(4))).predictor_name == "tage"
+        assert profile_of(bf_neural_64kb()).predictor_name == "bf-neural"
+        assert profile_of(ISLTage(TageConfig.for_tables(4))).predictor_name == "isl-tage"
+        generic = profile_of(Bimodal())
+        assert generic.arrays  # generic fallback produced something
+
+    def test_profile_totals(self):
+        profile = AccessProfile("x")
+        profile.add("a", 1024, 4, reads=2)
+        profile.add("b", 256, 8)
+        assert profile.total_reads == 3
+        assert profile.total_bits_read == 16
+
+
+class TestEnergyExperiment:
+    def test_runs_small(self):
+        from repro.experiments import common, energy_analysis
+
+        parser = common.make_parser("x")
+        args = parser.parse_args(
+            ["--branches", "1200", "--traces", "FP1", "--cache-dir", ""]
+        )
+        report = energy_analysis.run(args)
+        assert "energy" in report
+        assert "BF-ISL-TAGE-10" in report

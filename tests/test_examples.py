@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs end-to-end at reduced scale."""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script, argv):
+    monkeypatch.setattr(sys, "argv", [str(EXAMPLES / script)] + argv)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", ["FP1", "2000"])
+        assert "MPKI" in out
+        assert "BF-Neural" in out
+
+    def test_compare_predictors(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "compare_predictors.py", ["FP", "1200"])
+        assert "avg MPKI" in out
+        assert "bf-neural 64KB" in out
+
+    def test_bias_analysis(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "bias_analysis.py", ["FP2"])
+        assert "oracle biased" in out
+        assert "BST 2-bit" in out
+
+    def test_custom_predictor(self, monkeypatch, capsys):
+        # Shrink the trace by monkeypatching build_trace's default use.
+        out = run_example(monkeypatch, capsys, "custom_predictor.py", [])
+        assert "bf-gshare" in out
+
+    def test_long_range_correlation(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "long_range_correlation.py", ["80", "8000"]
+        )
+        assert "follower accuracy" in out

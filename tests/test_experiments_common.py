@@ -1,0 +1,82 @@
+"""Tests for the shared experiment CLI and factories."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import BFISLTage
+from repro.core.bfneural import BFNeural
+from repro.experiments import common
+from repro.predictors import ISLTage, ScaledNeural
+
+
+class TestParser:
+    def test_defaults(self):
+        args = common.make_parser("x").parse_args([])
+        assert args.branches is None
+        assert args.cache_dir == Path(".bfbp-cache")
+        assert not args.verbose
+
+    def test_cache_dir_disabled_by_empty(self):
+        args = common.make_parser("x").parse_args(["--cache-dir", ""])
+        assert common.cache_dir_of(args) is None
+
+    def test_cache_dir_enabled(self):
+        args = common.make_parser("x").parse_args(["--cache-dir", "/tmp/c"])
+        assert common.cache_dir_of(args) == Path("/tmp/c")
+
+
+class TestLoadTraces:
+    def test_by_names(self):
+        args = common.make_parser("x").parse_args(
+            ["--traces", "FP1", "MM2", "--branches", "1000"]
+        )
+        traces = common.load_traces(args)
+        assert [t.name for t in traces] == ["FP1", "MM2"]
+        assert all(len(t) >= 1000 for t in traces)
+
+    def test_by_categories(self):
+        args = common.make_parser("x").parse_args(
+            ["--categories", "SERV", "--branches", "800"]
+        )
+        traces = common.load_traces(args)
+        assert len(traces) == 5
+        assert all(t.metadata.category == "SERV" for t in traces)
+
+
+class TestFactories:
+    def test_oh_snap_history_length(self):
+        assert common.oh_snap().history_length == 128
+
+    def test_conventional_perceptron_history(self):
+        assert common.conventional_perceptron_72().history_length == 72
+
+    def test_tage_with_loop_has_no_sc(self):
+        p = common.tage_with_loop(10)
+        assert isinstance(p, ISLTage)
+        assert p.loop is not None
+        assert not p.with_statistical_corrector
+
+    def test_isl_tage_full(self):
+        p = common.isl_tage(7)
+        assert p.with_statistical_corrector
+        assert p.tage.config.num_tables == 7
+
+    def test_bf_isl_tage(self):
+        p = common.bf_isl_tage(5)
+        assert isinstance(p, BFISLTage)
+        assert p.tage.config.num_tables == 5
+
+    def test_bf_neural_stages_differ_structurally(self):
+        s1 = common.bf_neural_stage(1)
+        s2 = common.bf_neural_stage(2)
+        s3 = common.bf_neural_stage(3)
+        assert isinstance(s1, BFNeural)
+        assert not s1.config.filter_biased_history and not s1.config.use_rs
+        assert s2.config.filter_biased_history and not s2.config.use_rs
+        assert s3.config.filter_biased_history and s3.config.use_rs
+
+    def test_factory_binder(self):
+        make = common.factory(common.isl_tage, 4)
+        assert make().tage.config.num_tables == 4
+        assert make() is not make()  # fresh instance each call

@@ -1,0 +1,70 @@
+"""Pure unit tests for the per-figure computation helpers."""
+
+import pytest
+
+from repro.experiments.fig12_hits import _hit_percentages, _mean_table
+from repro.sim.metrics import SimulationResult
+
+
+def result_with_hits(hits, branches=100):
+    return SimulationResult(
+        trace_name="t",
+        predictor_name="p",
+        branches=branches,
+        instructions=branches * 5,
+        mispredictions=0,
+        provider_hits=hits,
+    )
+
+
+class TestHitPercentages:
+    def test_extracts_tables_in_order(self):
+        result = result_with_hits({"T1": 50, "T3": 25, "base": 25})
+        pct = _hit_percentages(result, 4)
+        assert pct == [50.0, 0.0, 25.0, 0.0]
+
+    def test_ignores_non_table_providers(self):
+        result = result_with_hits({"loop": 40, "sc": 10, "T2": 50})
+        pct = _hit_percentages(result, 2)
+        assert pct == [0.0, 50.0]
+
+
+class TestMeanTable:
+    def test_single_table(self):
+        assert _mean_table([0.0, 100.0]) == 2.0
+
+    def test_weighted_mean(self):
+        # 75% of hits at table 1, 25% at table 3 -> mean 1.5
+        assert _mean_table([75.0, 0.0, 25.0]) == pytest.approx(1.5)
+
+    def test_no_hits(self):
+        assert _mean_table([0.0, 0.0]) == 0.0
+
+
+class TestRelativeImprovementMath:
+    def test_improvement_percentages(self):
+        # Mirrors fig11's computation: (base - x) / base * 100
+        base, t15, bf = 4.0, 3.0, 3.2
+        imp_t15 = 100.0 * (base - t15) / base
+        imp_bf = 100.0 * (base - bf) / base
+        assert imp_t15 == pytest.approx(25.0)
+        assert imp_bf == pytest.approx(20.0)
+        assert imp_bf > imp_t15 - 5.5  # tracking-band sanity
+
+
+class TestSummarizeScript:
+    def test_grab_missing_file(self, tmp_path, monkeypatch):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "summarize_results",
+            Path(__file__).resolve().parent.parent / "scripts" / "summarize_results.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "RESULTS", tmp_path)
+        assert "missing" in module.grab("nope.txt", "x")
+        (tmp_path / "a.txt").write_text("hello world")
+        assert module.grab("a.txt", r"hello \w+") == "hello world"
+        assert "no match" in module.grab("a.txt", r"zzz")

@@ -1,0 +1,159 @@
+"""Tests for history rings and incrementally folded registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.histories import (
+    FoldedHistory,
+    HistoryRing,
+    MultiFoldedHistory,
+    naive_fold,
+)
+
+
+class TestHistoryRing:
+    def test_starts_empty(self):
+        ring = HistoryRing(8)
+        assert len(ring) == 0
+
+    def test_push_and_at(self):
+        ring = HistoryRing(4)
+        ring.push(True)
+        ring.push(False)
+        ring.push(True)
+        assert ring.at(0) == 1  # newest
+        assert ring.at(1) == 0
+        assert ring.at(2) == 1
+
+    def test_eviction_returns_oldest(self):
+        ring = HistoryRing(2)
+        assert ring.push(True) == 0  # warming up
+        assert ring.push(False) == 0
+        assert ring.push(True) == 1  # evicts the first push
+        assert ring.push(True) == 0  # evicts the second push
+
+    def test_recent_bits_packing(self):
+        ring = HistoryRing(8)
+        for taken in (True, False, True):  # newest is True
+            ring.push(taken)
+        # bit 0 = newest (True), bit 1 = False, bit 2 = True
+        assert ring.recent_bits(3) == 0b101
+
+    def test_at_out_of_range(self):
+        ring = HistoryRing(4)
+        with pytest.raises(IndexError):
+            ring.at(4)
+
+    def test_recent_bits_bad_count(self):
+        ring = HistoryRing(4)
+        with pytest.raises(ValueError):
+            ring.recent_bits(5)
+
+    def test_clear(self):
+        ring = HistoryRing(4)
+        ring.push(True)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.recent_bits(4) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryRing(0)
+
+
+class TestFoldedHistory:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=400),
+        st.sampled_from([(5, 3), (8, 4), (13, 7), (3, 8), (64, 11), (1, 1), (7, 7), (142, 10)]),
+    )
+    @settings(max_examples=60)
+    def test_matches_naive_fold(self, outcomes, shape):
+        """The incremental fold must equal refolding the raw window."""
+        length, width = shape
+        ring = HistoryRing(512)
+        fold = FoldedHistory(length, width)
+        for taken in outcomes:
+            bit = 1 if taken else 0
+            outgoing = ring.at(length - 1) if len(ring) >= length else 0
+            fold.update(bit, outgoing)
+            ring.push(taken)
+            assert fold.value == naive_fold(ring, length, width)
+
+    def test_zero_length_is_constant(self):
+        fold = FoldedHistory(0, 4)
+        fold.update(1, 0)
+        assert fold.value == 0
+
+    def test_clear(self):
+        fold = FoldedHistory(8, 4)
+        fold.update(1, 0)
+        assert fold.value != 0
+        fold.clear()
+        assert fold.value == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(-1, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(8, 0)
+
+    def test_value_stays_in_width(self):
+        fold = FoldedHistory(13, 5)
+        for i in range(200):
+            fold.update(i & 1, (i >> 1) & 1)
+            assert 0 <= fold.value < 32
+
+
+class TestMultiFoldedHistory:
+    def test_exact_lookup(self):
+        multi = MultiFoldedHistory([4, 8, 16], width=6, ring_capacity=32)
+        for taken in [True, False, True, True, False, True, False, False]:
+            multi.push(taken)
+        assert multi.exact(8) == naive_fold(multi.ring, 8, 6)
+
+    def test_exact_missing_depth(self):
+        multi = MultiFoldedHistory([4, 8], width=6, ring_capacity=32)
+        with pytest.raises(KeyError):
+            multi.exact(5)
+
+    def test_folded_at_picks_largest_not_exceeding(self):
+        multi = MultiFoldedHistory([4, 8, 16], width=6, ring_capacity=32)
+        for i in range(20):
+            multi.push(bool(i % 3))
+        assert multi.folded_at(10) == multi.exact(8)
+        assert multi.folded_at(16) == multi.exact(16)
+        assert multi.folded_at(100) == multi.exact(16)
+
+    def test_folded_at_below_smallest(self):
+        multi = MultiFoldedHistory([4, 8], width=6, ring_capacity=32)
+        multi.push(True)
+        assert multi.folded_at(2) == 0
+
+    def test_all_registers_consistent(self):
+        depths = [4, 8, 12, 24, 48]
+        multi = MultiFoldedHistory(depths, width=7, ring_capacity=64)
+        import random
+
+        rnd = random.Random(5)
+        for _ in range(200):
+            multi.push(bool(rnd.getrandbits(1)))
+        for depth in depths:
+            assert multi.exact(depth) == naive_fold(multi.ring, depth, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiFoldedHistory([], width=4, ring_capacity=16)
+        with pytest.raises(ValueError):
+            MultiFoldedHistory([8, 4], width=4, ring_capacity=16)
+        with pytest.raises(ValueError):
+            MultiFoldedHistory([4, 4], width=4, ring_capacity=16)
+        with pytest.raises(ValueError):
+            MultiFoldedHistory([4, 32], width=4, ring_capacity=16)
+
+    def test_clear(self):
+        multi = MultiFoldedHistory([4], width=4, ring_capacity=8)
+        multi.push(True)
+        multi.clear()
+        assert multi.exact(4) == 0
+        assert len(multi.ring) == 0

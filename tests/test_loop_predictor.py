@@ -1,0 +1,99 @@
+"""Tests for the loop-count predictor."""
+
+import pytest
+
+from repro.predictors.loop import LoopOnly, LoopPredictor
+
+
+def run_loop(predictor, pc, trip, iterations=1):
+    """Feed `iterations` full loop executions; return predictions made at
+    the exit iteration of the final execution."""
+    for _ in range(iterations):
+        for i in range(trip):
+            predictor.update(pc, i < trip - 1, allocate=True)
+
+
+class TestLoopPredictor:
+    def test_learns_constant_trip(self):
+        loop = LoopPredictor()
+        pc = 0x500
+        # Train: several identical executions of a 7-iteration loop.
+        for _ in range(6):
+            for i in range(7):
+                loop.update(pc, i < 6)
+        # Now walk one more execution checking predictions.
+        for i in range(7):
+            prediction, confident = loop.lookup(pc)
+            assert confident
+            assert prediction == (i < 6)
+            loop.update(pc, i < 6)
+
+    def test_not_confident_initially(self):
+        loop = LoopPredictor()
+        _, confident = loop.lookup(0x500)
+        assert not confident
+
+    def test_confidence_resets_on_trip_change(self):
+        loop = LoopPredictor()
+        pc = 0x500
+        for _ in range(6):
+            for i in range(5):
+                loop.update(pc, i < 4)
+        _, confident = loop.lookup(pc)
+        assert confident
+        # A different trip count destroys confidence.
+        for i in range(9):
+            loop.update(pc, i < 8)
+        _, confident = loop.lookup(pc)
+        assert not confident
+
+    def test_allocation_only_on_not_taken(self):
+        loop = LoopPredictor()
+        loop.update(0x500, True, allocate=True)  # taken: no allocation
+        assert loop._find(0x500) is None
+        loop.update(0x500, False, allocate=True)
+        assert loop._find(0x500) is not None
+
+    def test_no_allocation_when_disabled(self):
+        loop = LoopPredictor()
+        loop.update(0x500, False, allocate=False)
+        assert loop._find(0x500) is None
+
+    def test_giant_loop_retires_entry(self):
+        loop = LoopPredictor()
+        loop.update(0x500, False)
+        for _ in range(LoopPredictor.TRIP_MAX + 2):
+            loop.update(0x500, True)
+        assert loop._find(0x500) is None
+
+    def test_capacity_eviction(self):
+        loop = LoopPredictor(entries=8, ways=4)
+        for i in range(64):
+            loop.update(0x100 + 8 * i, False)
+        live = sum(
+            1 for i in range(64) if loop._find(0x100 + 8 * i) is not None
+        )
+        assert live <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(entries=10, ways=4)
+
+    def test_storage_bits_positive(self):
+        assert LoopPredictor().storage_bits() > 0
+
+
+class TestLoopOnly:
+    def test_wraps_loop_predictor(self):
+        p = LoopOnly()
+        pc = 0x500
+        for _ in range(6):
+            for i in range(4):
+                p.train(pc, i < 3)
+        # fourth iteration of a fresh execution is the exit
+        for i in range(4):
+            assert p.predict(pc) == (i < 3)
+            p.train(pc, i < 3)
+
+    def test_default_prediction_is_taken(self):
+        assert LoopOnly().predict(0x123)

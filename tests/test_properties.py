@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bfneural import BFNeural, BFNeuralConfig
+from repro.core.bst import BranchStatus, BranchStatusTable
+from repro.core.segments import SegmentedRecencyStacks
+from repro.predictors import Bimodal, GShare, Tage, TageConfig
+from repro.sim import simulate
+from repro.trace.records import Trace, TraceMetadata
+
+events_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**20), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+def trace_of(events):
+    meta = TraceMetadata(
+        name="h", category="SPEC", instruction_count=max(1, len(events) * 5)
+    )
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+class TestSimulatorInvariants:
+    @given(events_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_mispredictions_bounded_by_branches(self, events):
+        for factory in (Bimodal, GShare):
+            result = simulate(factory(), trace_of(events))
+            assert 0 <= result.mispredictions <= result.branches == len(events)
+
+    @given(events_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_simulation_is_deterministic(self, events):
+        trace = trace_of(events)
+        first = simulate(Tage(TageConfig.for_tables(4)), trace)
+        second = simulate(Tage(TageConfig.for_tables(4)), trace)
+        assert first.mispredictions == second.mispredictions
+
+    @given(events_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_provider_hits_sum_to_branches(self, events):
+        result = simulate(
+            Tage(TageConfig.for_tables(4)), trace_of(events), track_providers=True
+        )
+        assert sum(result.provider_hits.values()) == result.branches
+
+
+class TestBSTInvariants:
+    @given(events_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_fsm_reachability(self, events):
+        """A branch is NON_BIASED iff its entry saw both directions."""
+        bst = BranchStatusTable(entries=4096)
+        seen: dict[int, set] = {}
+        for pc, taken in events:
+            bst.observe(pc, taken)
+            seen.setdefault(pc & 4095, set()).add(taken)
+        for index, directions in seen.items():
+            status = bst._state[index]
+            if len(directions) == 2:
+                assert status == BranchStatus.NON_BIASED
+            else:
+                assert status in (BranchStatus.TAKEN, BranchStatus.NOT_TAKEN)
+
+    @given(events_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_bias_prediction_consistent_with_state(self, events):
+        bst = BranchStatusTable(entries=4096)
+        for pc, taken in events:
+            bst.observe(pc, taken)
+        for pc, _ in events:
+            prediction = bst.bias_prediction(pc)
+            status = bst.status(pc)
+            if status == BranchStatus.TAKEN:
+                assert prediction is True
+            elif status == BranchStatus.NOT_TAKEN:
+                assert prediction is False
+            else:
+                assert prediction is None
+
+
+class TestBFNeuralInvariants:
+    @given(events_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_weights_always_in_range(self, events):
+        config = BFNeuralConfig(
+            bst_entries=512,
+            bias_entries=64,
+            wm_rows=64,
+            ht=4,
+            wrs_entries=256,
+            rs_depth=8,
+            weight_bits=6,
+            with_loop_predictor=False,
+        )
+        predictor = BFNeural(config)
+        for pc, taken in events:
+            predictor.predict(pc)
+            predictor.train(pc, taken)
+        assert all(-32 <= w <= 31 for w in predictor._wb)
+        assert all(-32 <= w <= 31 for w in predictor._wrs)
+        for row in predictor._wm:
+            assert all(-32 <= w <= 31 for w in row)
+
+    @given(events_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_rs_only_holds_non_biased(self, events):
+        config = BFNeuralConfig(
+            bst_entries=4096, bias_entries=64, wm_rows=64, ht=4,
+            wrs_entries=256, rs_depth=8, with_loop_predictor=False,
+        )
+        predictor = BFNeural(config)
+        for pc, taken in events:
+            predictor.predict(pc)
+            predictor.train(pc, taken)
+        for entry in predictor.rs.entries():
+            assert predictor.bst.status(entry.address) == BranchStatus.NON_BIASED
+
+
+class TestSegmentedStackInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**14 - 1),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=500,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_packed_ghr_always_matches_components(self, commits):
+        seg = SegmentedRecencyStacks(
+            boundaries=[8, 16, 32, 64], rs_size=4, unfiltered_bits=8
+        )
+        for pc, taken, non_biased in commits:
+            seg.commit(pc, taken, non_biased)
+        bits, addrs = seg.ghr_components()
+        packed, length = seg.packed_ghr(max_length=10_000)
+        assert length == len(bits)
+        for position, (bit, addr) in enumerate(zip(bits, addrs)):
+            assert (packed >> (3 * position)) & 0b111 == (bit | ((addr & 3) << 1))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_biased_commits_leave_segments_empty(self, commits):
+        seg = SegmentedRecencyStacks(
+            boundaries=[8, 16, 32], rs_size=4, unfiltered_bits=8
+        )
+        for pc, taken in commits:
+            seg.commit(pc, taken, non_biased=False)
+        assert seg.segment_fill() == [0, 0]

@@ -1,0 +1,154 @@
+"""Tests for the recency stack (paper Figure 3) and positional history."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recency_stack import RecencyStack
+
+
+class TestBasicBehaviour:
+    def test_starts_empty(self):
+        assert len(RecencyStack(depth=4)) == 0
+
+    def test_record_inserts_at_top(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        rs.tick()
+        rs.record(0x20, False)
+        entries = rs.entries()
+        assert entries[0].address == 0x20
+        assert entries[1].address == 0x10
+
+    def test_hit_moves_to_top_and_updates(self):
+        rs = RecencyStack(depth=4)
+        for pc in (0x10, 0x20, 0x30):
+            rs.record(pc, True)
+            rs.tick()
+        rs.record(0x10, False)
+        entries = rs.entries()
+        assert [e.address for e in entries] == [0x10, 0x30, 0x20]
+        assert entries[0].outcome is False
+        assert len(rs) == 3  # dedup: no growth
+
+    def test_capacity_evicts_oldest(self):
+        rs = RecencyStack(depth=3)
+        for pc in (0x10, 0x20, 0x30, 0x40):
+            rs.record(pc, True)
+            rs.tick()
+        assert [e.address for e in rs.entries()] == [0x40, 0x30, 0x20]
+
+    def test_find(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        assert rs.find(0x10) is not None
+        assert rs.find(0x999) is None
+
+    def test_clear(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        rs.clear()
+        assert len(rs) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecencyStack(depth=0)
+        with pytest.raises(ValueError):
+            RecencyStack(depth=4, position_cap=0)
+
+
+class TestPositionalHistory:
+    def test_distance_counts_committed_branches(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        for _ in range(5):
+            rs.tick()
+        entry = rs.find(0x10)
+        assert rs.distance_of(entry) == 5
+
+    def test_distance_resets_on_reoccurrence(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        for _ in range(5):
+            rs.tick()
+        rs.record(0x10, True)
+        assert rs.distance_of(rs.find(0x10)) == 0
+
+    def test_distance_caps(self):
+        rs = RecencyStack(depth=4, position_cap=10)
+        rs.record(0x10, True)
+        for _ in range(100):
+            rs.tick()
+        assert rs.distance_of(rs.find(0x10)) == 10
+
+    def test_snapshot_matches_entries(self):
+        rs = RecencyStack(depth=4)
+        rs.record(0x10, True)
+        rs.tick()
+        rs.record(0x20, False)
+        snap = rs.snapshot()
+        assert snap[0] == (0x20, 0, False)
+        assert snap[1] == (0x10, 1, True)
+
+
+class TestDedupFlag:
+    def test_no_dedup_keeps_instances(self):
+        rs = RecencyStack(depth=8, dedup=False)
+        for _ in range(3):
+            rs.record(0x10, True)
+            rs.tick()
+        assert len(rs) == 3
+
+    def test_no_dedup_acts_as_shift_register(self):
+        rs = RecencyStack(depth=2, dedup=False)
+        rs.record(0x10, True)
+        rs.record(0x20, True)
+        rs.record(0x10, False)
+        assert [e.address for e in rs.entries()] == [0x10, 0x20]
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=15), st.booleans()),
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_dedup_invariants(self, events, depth):
+        """With dedup: addresses unique, size bounded, order = recency."""
+        rs = RecencyStack(depth=depth)
+        last_seen = {}
+        clock = 0
+        for pc, taken in events:
+            rs.record(pc, taken)
+            last_seen[pc] = (clock, taken)
+            rs.tick()
+            clock += 1
+            entries = rs.entries()
+            addresses = [e.address for e in entries]
+            assert len(addresses) == len(set(addresses))
+            assert len(entries) <= depth
+            stamps = [e.stamp for e in entries]
+            assert stamps == sorted(stamps, reverse=True)
+        # Every entry reflects the branch's most recent occurrence.
+        for entry in rs.entries():
+            stamp, outcome = last_seen[entry.address]
+            assert entry.stamp == stamp
+            assert entry.outcome == outcome
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30)
+    def test_top_entry_is_most_recent(self, events):
+        rs = RecencyStack(depth=16)
+        for pc, taken in events:
+            rs.record(pc, taken)
+            rs.tick()
+        if events:
+            assert rs.entries()[0].address == events[-1][0]

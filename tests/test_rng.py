@@ -1,0 +1,88 @@
+"""Tests for the deterministic xorshift64* generator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import XorShift64
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = XorShift64(42)
+        b = XorShift64(42)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = XorShift64(1)
+        b = XorShift64(2)
+        assert [a.next_u64() for _ in range(10)] != [b.next_u64() for _ in range(10)]
+
+    def test_zero_seed_accepted(self):
+        rng = XorShift64(0)
+        assert rng.next_u64() != 0
+
+
+class TestRanges:
+    def test_u64_range(self):
+        rng = XorShift64(3)
+        for _ in range(1000):
+            assert 0 <= rng.next_u64() < 2**64
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_next_bits_range(self, bits):
+        rng = XorShift64(9)
+        for _ in range(100):
+            assert 0 <= rng.next_bits(bits) < (1 << bits)
+
+    def test_next_bits_invalid(self):
+        rng = XorShift64()
+        with pytest.raises(ValueError):
+            rng.next_bits(0)
+        with pytest.raises(ValueError):
+            rng.next_bits(65)
+
+    @given(st.integers(min_value=1, max_value=1_000_000))
+    def test_next_below_range(self, bound):
+        rng = XorShift64(11)
+        for _ in range(20):
+            assert 0 <= rng.next_below(bound) < bound
+
+    def test_next_below_invalid(self):
+        with pytest.raises(ValueError):
+            XorShift64().next_below(0)
+
+
+class TestDistribution:
+    def test_bit_balance(self):
+        rng = XorShift64(123)
+        ones = sum(rng.next_bits(1) for _ in range(10000))
+        assert 4500 < ones < 5500
+
+    def test_chance_statistics(self):
+        rng = XorShift64(7)
+        hits = sum(rng.chance(1, 4) for _ in range(10000))
+        assert 2200 < hits < 2800
+
+    def test_chance_always_and_never(self):
+        rng = XorShift64(5)
+        assert all(rng.chance(1, 1) for _ in range(100))
+        assert not any(rng.chance(0, 8) for _ in range(100))
+
+    def test_chance_invalid_denominator(self):
+        with pytest.raises(ValueError):
+            XorShift64().chance(1, 0)
+
+
+class TestFork:
+    def test_fork_is_independent(self):
+        parent = XorShift64(99)
+        child = parent.fork()
+        parent_vals = [parent.next_u64() for _ in range(10)]
+        child_vals = [child.next_u64() for _ in range(10)]
+        assert parent_vals != child_vals
+
+    def test_fork_deterministic(self):
+        a = XorShift64(99).fork()
+        b = XorShift64(99).fork()
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]

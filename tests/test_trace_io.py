@@ -1,0 +1,96 @@
+"""Round-trip tests for the BFBP binary trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.records import Trace, TraceMetadata
+
+
+def roundtrip(trace, tmp_path):
+    path = tmp_path / "trace.bfbp"
+    write_trace(trace, path)
+    return read_trace(path)
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        meta = TraceMetadata(name="A", category="SPEC", instruction_count=50, seed=7)
+        trace = Trace(meta, [16, 20, 16, 1000], [True, False, False, True])
+        back = roundtrip(trace, tmp_path)
+        assert back.pcs == trace.pcs
+        assert back.outcomes == trace.outcomes
+        assert back.metadata.name == "A"
+        assert back.metadata.seed == 7
+        assert back.instruction_count == 50
+
+    def test_empty_trace(self, tmp_path):
+        meta = TraceMetadata(name="E", category="FP", instruction_count=1)
+        back = roundtrip(Trace(meta, [], []), tmp_path)
+        assert len(back) == 0
+
+    def test_extra_metadata(self, tmp_path):
+        meta = TraceMetadata(
+            name="X", category="MM", instruction_count=5, extra={"bias": 0.5}
+        )
+        back = roundtrip(Trace(meta, [4], [True]), tmp_path)
+        assert back.metadata.extra == {"bias": 0.5}
+
+    def test_large_pcs(self, tmp_path):
+        meta = TraceMetadata(name="L", category="INT", instruction_count=10)
+        pcs = [2**32 - 4, 0, 2**31]
+        back = roundtrip(Trace(meta, pcs, [True, True, False]), tmp_path)
+        assert back.pcs == pcs
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**32 - 1), st.booleans()),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_streams(self, events):
+        import tempfile
+        from pathlib import Path
+
+        meta = TraceMetadata(name="H", category="SERV", instruction_count=max(1, len(events)))
+        trace = Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+        with tempfile.TemporaryDirectory() as tmp:
+            back = roundtrip(trace, Path(tmp))
+        assert back.pcs == trace.pcs
+        assert back.outcomes == trace.outcomes
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bfbp"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            read_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.bfbp"
+        path.write_bytes(b"BFBP\xff" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="version"):
+            read_trace(path)
+
+
+class TestSuiteTraceRoundTrip:
+    def test_generated_trace_roundtrips(self, tmp_path):
+        from repro.workloads import build_trace
+
+        trace = build_trace("FP1", 2000)
+        back = roundtrip(trace, tmp_path)
+        assert back.pcs == trace.pcs
+        assert back.outcomes == trace.outcomes
+        assert back.metadata.category == "FP"
+
+    def test_compression_is_effective(self, tmp_path):
+        from repro.workloads import build_trace
+
+        trace = build_trace("SPEC00", 5000)
+        path = tmp_path / "t.bfbp"
+        write_trace(trace, path)
+        raw_size = len(trace) * 5  # 4-byte pc + 1-bit outcome, roughly
+        assert path.stat().st_size < raw_size

@@ -1,0 +1,92 @@
+"""Tests for trace records and metadata."""
+
+import pytest
+
+from repro.trace.records import BranchRecord, Trace, TraceMetadata
+
+
+def make_trace(n=10, name="T", category="SPEC", instructions=None):
+    pcs = [0x1000 + 4 * i for i in range(n)]
+    outcomes = [bool(i % 2) for i in range(n)]
+    meta = TraceMetadata(
+        name=name, category=category, instruction_count=instructions or n * 5
+    )
+    return Trace(meta, pcs, outcomes)
+
+
+class TestBranchRecord:
+    def test_fields(self):
+        record = BranchRecord(0x400, True)
+        assert record.pc == 0x400
+        assert record.taken
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(-1, True)
+
+    def test_frozen(self):
+        record = BranchRecord(4, True)
+        with pytest.raises(AttributeError):
+            record.pc = 8
+
+
+class TestTraceMetadata:
+    def test_requires_positive_instructions(self):
+        with pytest.raises(ValueError):
+            TraceMetadata(name="x", category="SPEC", instruction_count=0)
+
+    def test_extra_defaults_empty(self):
+        meta = TraceMetadata(name="x", category="SPEC", instruction_count=1)
+        assert meta.extra == {}
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = make_trace(6)
+        assert len(trace) == 6
+        records = list(trace)
+        assert all(isinstance(r, BranchRecord) for r in records)
+        assert records[1].taken
+
+    def test_indexing(self):
+        trace = make_trace(4)
+        assert trace[2].pc == 0x1008
+
+    def test_mismatched_lengths_rejected(self):
+        meta = TraceMetadata(name="x", category="SPEC", instruction_count=10)
+        with pytest.raises(ValueError):
+            Trace(meta, [1, 2], [True])
+
+    def test_properties(self):
+        trace = make_trace(4, name="ZZ")
+        assert trace.name == "ZZ"
+        assert trace.instruction_count == 20
+
+    def test_static_branches(self):
+        trace = make_trace(8)
+        assert len(trace.static_branches()) == 8
+
+    def test_repr_mentions_name(self):
+        assert "ZZ" in repr(make_trace(3, name="ZZ"))
+
+
+class TestTruncated:
+    def test_truncation_scales_instructions(self):
+        trace = make_trace(10, instructions=100)
+        short = trace.truncated(5)
+        assert len(short) == 5
+        assert short.instruction_count == 50
+
+    def test_truncation_no_op_when_longer(self):
+        trace = make_trace(10)
+        assert trace.truncated(100) is trace
+
+    def test_truncation_invalid(self):
+        with pytest.raises(ValueError):
+            make_trace(10).truncated(0)
+
+    def test_truncation_preserves_metadata(self):
+        trace = make_trace(10, name="K", category="MM")
+        short = trace.truncated(3)
+        assert short.name == "K"
+        assert short.metadata.category == "MM"

@@ -1,0 +1,81 @@
+"""Tests for trace statistics (the Figure 2 analysis)."""
+
+from repro.trace.records import Trace, TraceMetadata
+from repro.trace.stats import compute_stats, recurrence_distances
+
+
+def trace_of(events):
+    meta = TraceMetadata(name="S", category="SPEC", instruction_count=max(1, len(events) * 5))
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+class TestBranchProfiles:
+    def test_biased_branch_detected(self):
+        trace = trace_of([(4, True)] * 5 + [(8, False)] * 3)
+        stats = compute_stats(trace)
+        assert stats.profiles[4].is_biased
+        assert stats.profiles[8].is_biased
+        assert stats.biased_static_branches == 2
+
+    def test_non_biased_branch_detected(self):
+        trace = trace_of([(4, True), (4, False), (4, True)])
+        stats = compute_stats(trace)
+        assert not stats.profiles[4].is_biased
+        assert stats.biased_static_branches == 0
+
+    def test_bias_ratio(self):
+        trace = trace_of([(4, True)] * 3 + [(4, False)])
+        profile = compute_stats(trace).profiles[4]
+        assert profile.bias_ratio == 0.75
+        assert profile.taken_count == 3
+        assert profile.not_taken_count == 1
+
+
+class TestAggregates:
+    def test_dynamic_fraction(self):
+        # 6 executions of a biased branch, 2 of a non-biased one.
+        trace = trace_of([(4, True)] * 6 + [(8, True), (8, False)])
+        stats = compute_stats(trace)
+        assert stats.dynamic_branches == 8
+        assert stats.biased_dynamic_fraction == 6 / 8
+
+    def test_static_fraction(self):
+        trace = trace_of([(4, True), (8, True), (8, False)])
+        stats = compute_stats(trace)
+        assert stats.static_branches == 2
+        assert stats.biased_static_fraction == 0.5
+
+    def test_taken_fraction(self):
+        trace = trace_of([(4, True), (8, False), (12, True), (16, True)])
+        assert compute_stats(trace).taken_fraction == 0.75
+
+    def test_empty_trace(self):
+        stats = compute_stats(trace_of([]))
+        assert stats.dynamic_branches == 0
+        assert stats.biased_dynamic_fraction == 0.0
+        assert stats.biased_static_fraction == 0.0
+
+
+class TestRecurrenceDistances:
+    def test_distances(self):
+        trace = trace_of([(4, True), (8, True), (4, True), (8, True), (8, True)])
+        assert recurrence_distances(trace, 4) == [2]
+        assert recurrence_distances(trace, 8) == [2, 1]
+
+    def test_absent_pc(self):
+        trace = trace_of([(4, True)])
+        assert recurrence_distances(trace, 999) == []
+
+
+class TestSuiteBiasSpread:
+    def test_suite_traces_have_spread(self):
+        """Figure 2's premise: the biased fraction varies across traces."""
+        from repro.workloads import build_trace
+
+        fractions = {}
+        for name in ("SPEC03", "SPEC02", "SERV3"):
+            stats = compute_stats(build_trace(name, 12000))
+            fractions[name] = stats.biased_dynamic_fraction
+        assert fractions["SPEC02"] > fractions["SPEC03"]
+        assert fractions["SERV3"] > fractions["SPEC03"]
+        assert max(fractions.values()) - min(fractions.values()) > 0.1

@@ -1,0 +1,317 @@
+"""Tests for the synthetic program model (scenes)."""
+
+import pytest
+
+from repro.trace.stats import compute_stats
+from repro.workloads.cfg import (
+    BiasedRun,
+    ConstantLoop,
+    DistantCorrelation,
+    Fig4Loop,
+    FlagReader,
+    FlagSetter,
+    LocalPeriodic,
+    Machine,
+    NoisyBranch,
+    PhasedBiased,
+    Program,
+    RepeatedInnerLoop,
+    Sequence,
+    ShortCorrelation,
+    TraceBuilder,
+    VariableLoop,
+)
+
+
+def run_scene(scene, seed=1, times=1):
+    machine = Machine(seed)
+    out = TraceBuilder()
+    for _ in range(times):
+        scene.run(machine, out)
+    return out
+
+
+class TestBiasedRun:
+    def test_emits_count_branches(self):
+        out = run_scene(BiasedRun(0x1000, 10))
+        assert len(out) == 10
+
+    def test_branches_are_biased(self):
+        scene = BiasedRun(0x1000, 6)
+        out = run_scene(scene, times=20)
+        per_pc = {}
+        for pc, taken in zip(out.pcs, out.outcomes):
+            per_pc.setdefault(pc, set()).add(taken)
+        assert all(len(dirs) == 1 for dirs in per_pc.values())
+
+    def test_distinct_pool_cycles(self):
+        scene = BiasedRun(0x1000, 100, distinct=10)
+        out = run_scene(scene)
+        assert len(set(out.pcs)) == 10
+        assert len(out) == 100
+
+    def test_deterministic_across_machines(self):
+        a = run_scene(BiasedRun(0x1000, 8), seed=1)
+        b = run_scene(BiasedRun(0x1000, 8), seed=99)
+        assert a.outcomes == b.outcomes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedRun(0x1000, 0)
+        with pytest.raises(ValueError):
+            BiasedRun(0x1000, 4, distinct=5)
+
+
+class TestLoops:
+    def test_constant_loop_shape(self):
+        out = run_scene(ConstantLoop(0x2000, trip=5))
+        loop_outcomes = [t for pc, t in zip(out.pcs, out.outcomes) if pc == 0x2000]
+        assert loop_outcomes == [True] * 4 + [False]
+
+    def test_constant_loop_with_body(self):
+        out = run_scene(ConstantLoop(0x2000, trip=3, body=BiasedRun(0x3000, 2)))
+        assert len(out) == 3 * 3
+
+    def test_constant_loop_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLoop(0x2000, trip=1)
+
+    def test_variable_loop_trips_in_set(self):
+        scene = VariableLoop(0x2000, [3, 5])
+        for seed in range(5):
+            out = run_scene(scene, seed=seed)
+            assert len(out) in (3, 5)
+
+    def test_variable_loop_validation(self):
+        with pytest.raises(ValueError):
+            VariableLoop(0x2000, [])
+        with pytest.raises(ValueError):
+            VariableLoop(0x2000, [1])
+
+    def test_approx_branches(self):
+        assert ConstantLoop(0x2000, trip=5).approx_branches() == 5
+        body = BiasedRun(0x3000, 2)
+        assert ConstantLoop(0x2000, trip=3, body=body).approx_branches() == 9
+
+
+class TestFlags:
+    def test_setter_stores_outcome(self):
+        machine = Machine(3)
+        out = TraceBuilder()
+        setter = FlagSetter(0x10, "f")
+        setter.run(machine, out)
+        assert machine.flags["f"] == out.outcomes[0]
+
+    def test_reader_follows_flag(self):
+        machine = Machine(3)
+        out = TraceBuilder()
+        machine.flags["f"] = True
+        FlagReader(0x20, "f").run(machine, out)
+        assert out.outcomes == [True]
+        FlagReader(0x24, "f", invert=True).run(machine, out)
+        assert out.outcomes == [True, False]
+
+    def test_reader_unset_flag_defaults_false(self):
+        out = TraceBuilder()
+        FlagReader(0x20, "missing").run(Machine(1), out)
+        assert out.outcomes == [False]
+
+    def test_reader_noise_flips_sometimes(self):
+        machine = Machine(5)
+        out = TraceBuilder()
+        machine.flags["f"] = True
+        reader = FlagReader(0x20, "f", noise=0.5)
+        for _ in range(200):
+            reader.run(machine, out)
+        flips = out.outcomes.count(False)
+        assert 60 < flips < 140
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            FlagReader(0x20, "f", noise=1.5)
+
+
+class TestShortCorrelation:
+    def test_reader_copies_source(self):
+        scene = ShortCorrelation(0x4000, depth=4)
+        machine = Machine(9)
+        out = TraceBuilder()
+        for _ in range(30):
+            scene.run(machine, out)
+        # For every activation: the branch at pc+4 equals the source, and
+        # pc+8 is its inverse.
+        events = list(zip(out.pcs, out.outcomes))
+        sources = [t for pc, t in events if pc == 0x4000]
+        readers = [t for pc, t in events if pc == 0x4004]
+        inverses = [t for pc, t in events if pc == 0x4008]
+        assert readers == sources
+        assert inverses == [not s for s in sources]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShortCorrelation(0x4000, depth=0)
+        with pytest.raises(ValueError):
+            ShortCorrelation(0x4000, depth=3, pre_pad=-1)
+
+
+class TestDistantCorrelation:
+    def make(self, **kwargs):
+        defaults = dict(
+            leader_pc=0x8000,
+            flag="dc",
+            biased_filler=20,
+            nonbiased_filler_pcs=[0xB000 + 4 * i for i in range(4)],
+            filler_repeats=3,
+            follower_pcs=[0xC000, 0xC004],
+            pre_pad=10,
+            pre_filler_pcs=[0xD000, 0xD004],
+        )
+        defaults.update(kwargs)
+        return DistantCorrelation(**defaults)
+
+    def test_raw_distance(self):
+        scene = self.make()
+        assert scene.raw_distance == 20 + 3 * 4
+
+    def test_follower_matches_leader(self):
+        scene = self.make()
+        machine = Machine(4)
+        out = TraceBuilder()
+        for _ in range(20):
+            scene.run(machine, out)
+        events = list(zip(out.pcs, out.outcomes))
+        leaders = [t for pc, t in events if pc == 0x8000]
+        follower0 = [t for pc, t in events if pc == 0xC000]
+        follower1 = [t for pc, t in events if pc == 0xC004]
+        assert follower0 == leaders  # noise=0
+        assert follower1 == [not t for t in leaders]  # odd followers invert
+
+    def test_filler_is_non_biased_and_deterministic(self):
+        from repro.trace.records import Trace, TraceMetadata
+
+        scene = self.make()
+        out = run_scene(scene, seed=1, times=3)
+        meta = TraceMetadata(name="x", category="SPEC", instruction_count=len(out) * 5)
+        stats = compute_stats(Trace(meta, out.pcs, out.outcomes))
+        for pc in scene._nonbiased_pcs:
+            assert not stats.profiles[pc].is_biased
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            self.make(filler_repeats=1)
+
+    def test_approx_branches_counts_everything(self):
+        scene = self.make()
+        out = run_scene(scene)
+        assert abs(scene.approx_branches() - len(out)) <= 1
+
+
+class TestOtherScenes:
+    def test_noisy_branch_statistics(self):
+        out = run_scene(NoisyBranch(0x5000, p_taken=0.8), times=1000)
+        taken = sum(out.outcomes)
+        assert 720 < taken < 880
+
+    def test_noisy_validation(self):
+        with pytest.raises(ValueError):
+            NoisyBranch(0x5000, p_taken=1.2)
+
+    def test_local_periodic_cycles(self):
+        scene = LocalPeriodic(0x6000, [True, True, False])
+        out = run_scene(scene, times=6)
+        assert out.outcomes == [True, True, False] * 2
+
+    def test_local_periodic_reset(self):
+        scene = LocalPeriodic(0x6000, [True, False])
+        run_scene(scene, times=1)
+        scene.reset()
+        out = run_scene(scene, times=2)
+        assert out.outcomes == [True, False]
+
+    def test_phased_biased_flips(self):
+        scene = PhasedBiased(0x7000, count=4, flip_after=3)
+        machine = Machine(1)
+        out = TraceBuilder()
+        for _ in range(6):
+            scene.run(machine, out)
+        first = out.outcomes[:4]
+        last = out.outcomes[-4:]
+        assert [not b for b in first] == last
+
+    def test_repeated_inner_loop_deterministic(self):
+        scene = RepeatedInnerLoop(0x9000, [0xA000, 0xA004], iterations=4)
+        a = run_scene(scene, seed=1)
+        b = run_scene(scene, seed=2)
+        assert a.outcomes == b.outcomes
+        assert len(a) == 4 * 3
+
+    def test_fig4_loop_special_iteration(self):
+        scene = Fig4Loop(0x100, 0x200, 0x300, iterations=6, special_index=2, flag="g")
+        machine = Machine(11)
+        out = TraceBuilder()
+        for _ in range(40):
+            scene.run(machine, out)
+        events = list(zip(out.pcs, out.outcomes))
+        leaders = [t for pc, t in events if pc == 0x100]
+        x_outcomes = [t for pc, t in events if pc == 0x300]
+        # X is taken exactly once per activation in which the flag was set.
+        assert sum(x_outcomes) == sum(leaders)
+
+    def test_fig4_validation(self):
+        with pytest.raises(ValueError):
+            Fig4Loop(0x100, 0x200, 0x300, iterations=4, special_index=4, flag="g")
+
+    def test_sequence_runs_in_order(self):
+        seq = Sequence([BiasedRun(0x100, 2), BiasedRun(0x200, 3)])
+        out = run_scene(seq)
+        assert len(out) == 5
+        assert out.pcs[0] < 0x200 <= out.pcs[2]
+
+    def test_sequence_validation(self):
+        with pytest.raises(ValueError):
+            Sequence([])
+
+
+class TestProgram:
+    def test_generates_requested_budget(self):
+        program = Program(
+            "t", "SPEC", [(BiasedRun(0x100, 5), 1.0), (NoisyBranch(0x200), 1.0)], seed=3
+        )
+        trace = program.generate(500)
+        assert len(trace) >= 500
+
+    def test_deterministic(self):
+        def build():
+            return Program(
+                "t", "SPEC", [(BiasedRun(0x100, 5), 1.0), (NoisyBranch(0x200), 1.0)], seed=3
+            )
+
+        t1 = build().generate(300)
+        t2 = build().generate(300)
+        assert t1.pcs == t2.pcs
+        assert t1.outcomes == t2.outcomes
+
+    def test_regenerate_same_program_object(self):
+        program = Program("t", "SPEC", [(LocalPeriodic(0x100, [True, False]), 1.0)], seed=3)
+        t1 = program.generate(100)
+        t2 = program.generate(100)
+        assert t1.outcomes == t2.outcomes
+
+    def test_share_weights_balance_scene_sizes(self):
+        """A big scene with the same share must not dominate the stream."""
+        big = BiasedRun(0x100, 100)
+        small = NoisyBranch(0x200)
+        program = Program("t", "SPEC", [(big, 1.0), (small, 1.0)], seed=3)
+        trace = program.generate(4000)
+        big_branches = sum(1 for pc in trace.pcs if pc < 0x200)
+        fraction = big_branches / len(trace)
+        assert 0.3 < fraction < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Program("t", "SPEC", [], seed=1)
+        with pytest.raises(ValueError):
+            Program("t", "SPEC", [(NoisyBranch(0x1), 0)], seed=1)
+        program = Program("t", "SPEC", [(NoisyBranch(0x1), 1)], seed=1)
+        with pytest.raises(ValueError):
+            program.generate(0)

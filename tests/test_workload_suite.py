@@ -1,0 +1,124 @@
+"""Tests for the 40-trace suite and category profiles."""
+
+import pytest
+
+from repro.trace.stats import compute_stats
+from repro.workloads.profiles import CategoryProfile, categories, profile_for
+from repro.workloads.suite import (
+    SUITE_NAMES,
+    _category_of,
+    build_program,
+    build_suite,
+    build_trace,
+    trace_names,
+)
+
+
+class TestSuiteNaming:
+    def test_forty_traces(self):
+        assert len(SUITE_NAMES) == 40
+
+    def test_names_match_paper(self):
+        assert "SPEC00" in SUITE_NAMES
+        assert "SPEC19" in SUITE_NAMES
+        for category in ("FP", "INT", "MM", "SERV"):
+            for i in range(1, 6):
+                assert f"{category}{i}" in SUITE_NAMES
+
+    def test_trace_names_filter(self):
+        serv = trace_names(["SERV"])
+        assert serv == ["SERV1", "SERV2", "SERV3", "SERV4", "SERV5"]
+
+    def test_category_of(self):
+        assert _category_of("SPEC07") == "SPEC"
+        assert _category_of("MM3") == "MM"
+        with pytest.raises(ValueError):
+            _category_of("XYZ1")
+
+
+class TestProfiles:
+    def test_all_categories_present(self):
+        assert categories() == ["FP", "INT", "MM", "SERV", "SPEC"]
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            profile_for("GPU")
+
+    def test_overrides(self):
+        profile = profile_for("SPEC").with_overrides(bias_weight=99)
+        assert profile.bias_weight == 99
+        assert profile.category == "SPEC"
+
+    def test_profiles_are_frozen(self):
+        profile = profile_for("FP")
+        with pytest.raises(Exception):
+            profile.bias_weight = 1
+
+    def test_serv_has_large_working_set(self):
+        assert profile_for("SERV").working_set > 5 * profile_for("SPEC").working_set
+
+
+class TestBuildTrace:
+    def test_deterministic(self):
+        t1 = build_trace("INT2", 3000)
+        t2 = build_trace("INT2", 3000)
+        assert t1.pcs == t2.pcs
+        assert t1.outcomes == t2.outcomes
+
+    def test_distinct_traces_differ(self):
+        t1 = build_trace("INT1", 3000)
+        t2 = build_trace("INT2", 3000)
+        assert t1.pcs != t2.pcs or t1.outcomes != t2.outcomes
+
+    def test_budget_respected(self):
+        trace = build_trace("MM1", 2500)
+        assert 2500 <= len(trace) < 2500 + 3000  # at most one extra scene
+
+    def test_spec_traces_default_longer(self):
+        spec = build_trace("SPEC01")
+        short = build_trace("FP1")
+        assert len(spec) > 1.5 * len(short)
+
+    def test_metadata(self):
+        trace = build_trace("SERV2", 2000)
+        assert trace.metadata.category == "SERV"
+        assert trace.metadata.instruction_count >= len(trace)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_trace("NOPE1")
+
+
+class TestBuildSuite:
+    def test_category_subset(self):
+        traces = build_suite(branches=1500, categories=["FP"])
+        assert [t.name for t in traces] == ["FP1", "FP2", "FP3", "FP4", "FP5"]
+
+    def test_programs_have_positive_weights(self):
+        for name in ("SPEC00", "SERV3", "MM5"):
+            program = build_program(name)
+            assert all(w > 0 for _, w in program.scenes)
+
+
+class TestWorkloadPhenomena:
+    def test_serv_has_more_statics_than_spec(self):
+        serv = compute_stats(build_trace("SERV3", 10000))
+        spec = compute_stats(build_trace("SPEC05", 10000))
+        assert serv.static_branches > spec.static_branches
+
+    def test_local_trace_has_periodic_branch(self):
+        """SPEC07 is tuned with local-history pathology branches."""
+        program = build_program("SPEC07")
+        from repro.workloads.cfg import LocalPeriodic
+
+        assert any(isinstance(s, LocalPeriodic) for s, _ in program.scenes)
+
+    def test_serv_has_phase_flips(self):
+        from repro.workloads.cfg import PhasedBiased
+
+        program = build_program("SERV3")
+        assert any(isinstance(s, PhasedBiased) for s, _ in program.scenes)
+
+    def test_taken_fraction_is_balanced(self):
+        stats = compute_stats(build_trace("SPEC13", 10000))
+        assert 0.3 < stats.taken_fraction < 0.7
