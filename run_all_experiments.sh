@@ -3,6 +3,14 @@
 # results are cached in .bfbp-cache/ so re-runs are incremental.
 set -x
 cd /root/repo
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+# Static analysis first: hardware-faithfulness lint + storage-budget
+# audit. A violation or a blown budget should stop the campaign before
+# hours of simulation, not after.
+python3 -m repro.analysis src/ --json > results/analysis.json || {
+    echo STATIC_ANALYSIS_FAILED
+    exit 1
+}
 python3 -m repro.experiments.table1_storage --output results/table1.txt > /dev/null 2>&1
 python3 -m repro.experiments.fig2_bias     --output results/fig2.txt  > /dev/null 2>&1
 python3 -m repro.experiments.fig12_hits    --verbose --output results/fig12.txt

@@ -21,7 +21,9 @@ def main():
     fills = {
         "RESULT_FIG2": grab("fig2.txt", r"average biased dynamic fraction: [\d.]+%"),
         "RESULT_FIG8": grab("fig8.txt", r"BF-Neural vs OH-SNAP: [+\-][\d.]+% MPKI improvement"),
-        "RESULT_FIG9": (grab("fig9.txt", r"average MPKI: [\d. >-]+") or "").replace("average MPKI: ", ""),
+        "RESULT_FIG9": (grab("fig9.txt", r"average MPKI: [\d. >-]+") or "").replace(
+            "average MPKI: ", ""
+        ),
         "RESULT_FIG10": grab("fig10.txt", r"BF-ISL-TAGE better at table counts: [^(\n]+"),
         "RESULT_FIG11": grab("fig11.txt", r"tracks TAGE-15[^\n]*\n?[^\n]*of them"),
         "RESULT_FIG12": grab("fig12.txt", r"lower mean table on \d+/\d+ traces"),

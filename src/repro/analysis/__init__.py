@@ -1,0 +1,48 @@
+"""Hardware-faithfulness static analysis for the repro sources.
+
+The paper's headline numbers (2.49 MPKI BF-Neural at 64 KB, the
+51 100-byte BF-TAGE of Table I) are only meaningful while the Python
+model stays hardware-realizable: fixed-width saturating counters,
+power-of-two tables, integer-only arithmetic on the predict/train
+paths, deterministic state, and honest ``storage_bits`` accounting.
+This package enforces those invariants with two passes:
+
+* an AST linter (:mod:`repro.analysis.rules`) with named REPRO rules,
+  reported with file:line, rule id and a one-line fix hint, and
+* a storage-budget auditor (:mod:`repro.analysis.storage_audit`) that
+  instantiates the preset configurations, walks every component's
+  ``storage_bits()`` and cross-checks the totals against the declared
+  budgets (64 KB / 32 KB BF-Neural, Table I BF-TAGE).
+
+Run it as ``python -m repro.analysis src/`` (or the ``repro-lint``
+entry point); pre-existing, justified violations live in
+``analysis/baseline.json`` and are burned down incrementally — new
+violations fail the run.  ``tests/test_analysis.py`` wires both passes
+into tier-1.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.findings import Finding, canonical_file
+from repro.analysis.rules import RULES, lint_paths, lint_source
+from repro.analysis.storage_audit import (
+    AuditResult,
+    audit_bf_neural,
+    audit_table1,
+    format_audits,
+    run_audits,
+)
+
+__all__ = [
+    "AuditResult",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "audit_bf_neural",
+    "audit_table1",
+    "canonical_file",
+    "format_audits",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "run_audits",
+]

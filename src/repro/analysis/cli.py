@@ -1,0 +1,153 @@
+"""Command line driver: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 new lint findings, 2 storage-audit failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from repro.analysis.rules import RULES, lint_paths
+from repro.analysis.storage_audit import format_audits, run_audits
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_AUDIT = 2
+#: Bad invocation (unknown path, missing baseline); argparse also uses 2
+#: for usage errors, so CI only needs "nonzero means not clean".
+EXIT_USAGE = 2
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Hardware-faithfulness static analysis (REPRO rules + "
+        "storage-budget audit)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of justified violations (default: "
+        f"{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write current findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--no-audit", action="store_true", help="skip the storage-budget audit"
+    )
+    parser.add_argument(
+        "--audit-only", action="store_true", help="run only the storage-budget audit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the REPRO rule ids and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (title, _) in sorted(RULES.items()):
+            print(f"{rule_id}  {title}")
+        return EXIT_CLEAN
+
+    try:
+        findings = [] if args.audit_only else lint_paths(args.paths)
+
+        baseline = None
+        if not args.no_baseline and not args.audit_only:
+            baseline = load_baseline(args.baseline)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline is not None:
+        previous = baseline if baseline is not None else load_baseline(None)
+        write_baseline(args.write_baseline, findings, previous)
+        print(f"[baseline written to {args.write_baseline}: {len(findings)} entries]")
+        return EXIT_CLEAN
+
+    if baseline is not None:
+        new, suppressed, stale = baseline.split(findings)
+    else:
+        new, suppressed, stale = findings, [], []
+
+    audits = [] if (args.no_audit and not args.audit_only) else run_audits()
+    audits_ok = all(result.ok for result in audits)
+
+    if args.json:
+        payload = {
+            "findings": [finding.to_dict() for finding in new],
+            "suppressed": [finding.to_dict() for finding in suppressed],
+            "stale_baseline": [
+                {"rule": e.rule, "file": e.file, "symbol": e.symbol} for e in stale
+            ],
+            "audits": [
+                {
+                    "name": result.name,
+                    "ok": result.ok,
+                    "model_total_bytes": result.model_total_bytes,
+                    "budget_bytes": result.budget_bytes,
+                    "detail": result.detail,
+                }
+                for result in audits
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        if suppressed:
+            print(f"[{len(suppressed)} finding(s) suppressed by baseline]")
+        for entry in stale:
+            print(
+                f"[stale baseline entry: {entry.rule} {entry.file} "
+                f"{entry.symbol} — remove it]"
+            )
+        if baseline is not None:
+            for entry in baseline.unjustified():
+                print(
+                    f"[unjustified baseline entry: {entry.rule} {entry.file} "
+                    f"{entry.symbol} — add a justification]"
+                )
+        if audits:
+            print(format_audits(audits))
+        summary = (
+            f"{len(new)} new finding(s), {len(suppressed)} baselined, "
+            f"{len(stale)} stale baseline entr(ies)"
+        )
+        if audits:
+            summary += f"; storage audit {'OK' if audits_ok else 'FAILED'}"
+        print(summary)
+
+    if new:
+        return EXIT_FINDINGS
+    if not audits_ok:
+        return EXIT_AUDIT
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

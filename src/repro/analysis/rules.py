@@ -1,0 +1,592 @@
+"""The REPRO AST lint rules.
+
+Each rule guards one hardware invariant (see ``docs/static_analysis.md``
+for the paper sections they trace to):
+
+========  ============================================================
+REPRO001  Saturation: no bare ``+= 1`` / ``-= 1`` on predictor state
+          outside the saturating-counter primitives or a visible bound
+          check — hardware counters have a fixed width (§IV-B1).
+REPRO002  Indexing: table sizes in ``*Config`` dataclasses must be
+          powers of two — hardware indexes with bit masks, not modulo.
+REPRO003  Integer math: no float constants, true division or
+          ``float()`` calls on the ``predict``/``train`` paths of
+          ``repro.core`` / ``repro.predictors`` — adders and saturating
+          integer ALUs only.
+REPRO004  Determinism: no ``random`` / ``time`` imports or
+          ``os.urandom`` — every stochastic update must draw from
+          ``repro.common.rng.XorShift64`` so runs are seed-pure.
+REPRO005  Interface: every concrete ``BranchPredictor`` subclass must
+          define ``name``, ``storage_bits`` and ``reset`` — unaccounted
+          storage invalidates Table I-style comparisons.
+========  ============================================================
+
+The linter is stdlib-``ast`` only.  Scope notes: REPRO001/003 apply to
+the hardware-modelling packages (``core``, ``predictors``, ``common``);
+the saturating-counter primitives in ``repro.common.counters`` and this
+analysis package are exempt.  Files outside the ``repro`` package (the
+violation fixtures) are always in scope for every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, canonical_file
+
+#: Modules that implement the sanctioned saturation/randomness
+#: primitives and are exempt from the rules they implement.
+_EXEMPT_MODULES = {"repro.common.counters", "repro.common.rng"}
+
+#: Hardware-modelling subpackages in scope for REPRO001.
+_STATE_PACKAGES = ("repro.core", "repro.predictors", "repro.common")
+
+#: Subpackages whose predict/train paths must be integer-only (REPRO003).
+_INTEGER_PACKAGES = ("repro.core", "repro.predictors")
+
+#: The root of the predictor class hierarchy (REPRO005).
+_PREDICTOR_ROOT = "BranchPredictor"
+
+#: Members every concrete predictor must define below the root.
+_REQUIRED_MEMBERS = ("name", "storage_bits", "reset")
+
+#: Modules whose import is nondeterministic or wall-clock dependent.
+_FORBIDDEN_IMPORTS = {"random", "time"}
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for a source file."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or parts
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleSource:
+    """A parsed source file plus the naming context rules need."""
+
+    path: Path
+    module: str
+    relpath: str
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleSource":
+        text = path.read_text()
+        return cls(
+            path=path,
+            module=module_name_for(path),
+            relpath=canonical_file(path),
+            tree=ast.parse(text, filename=str(path)),
+        )
+
+    @property
+    def in_repro(self) -> bool:
+        return self.module == "repro" or self.module.startswith("repro.")
+
+
+def collect_sources(paths: list[Path | str]) -> list[ModuleSource]:
+    """Parse every ``.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    seen: set[Path] = set()
+    sources = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved in seen or "egg-info" in str(file):
+            continue
+        seen.add(resolved)
+        sources.append(ModuleSource.parse(file))
+    return sources
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _qualname(ancestors: list) -> str:
+    """Dotted Class.function context for the innermost scopes."""
+    names = [
+        frame.stmt.name
+        for frame in ancestors
+        if isinstance(frame.stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return ".".join(names) if names else "<module>"
+
+
+@dataclass
+class _Frame:
+    """One level of statement nesting: the statement and where it sits."""
+
+    stmt: ast.stmt
+    body: list
+    index: int
+
+
+def _walk_statements(body, ancestors, visit) -> None:
+    """DFS over statements calling ``visit(stmt, ancestors, body, index)``.
+
+    ``ancestors`` is the list of enclosing :class:`_Frame` records,
+    outermost first, so rules can inspect both the ancestor statements
+    and their sibling statements.
+    """
+    for index, stmt in enumerate(body):
+        visit(stmt, ancestors, body, index)
+        frame = _Frame(stmt=stmt, body=body, index=index)
+        for child_body in _stmt_bodies(stmt):
+            _walk_statements(child_body, ancestors + [frame], visit)
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if block:
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+def _test_mentions(node: ast.AST, target_src: str) -> bool:
+    """Whether a guard expression references the counter being stepped."""
+    try:
+        return target_src in ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our input
+        return False
+
+
+# ----------------------------------------------------------------------
+# REPRO001 — unbounded counters
+# ----------------------------------------------------------------------
+
+
+def _check_unbounded_counters(source: ModuleSource) -> list[Finding]:
+    if source.in_repro:
+        if source.module in _EXEMPT_MODULES:
+            return []
+        if not source.module.startswith(_STATE_PACKAGES):
+            return []
+    findings: list[Finding] = []
+
+    def visit(stmt, ancestors, body, index):
+        if not isinstance(stmt, ast.AugAssign):
+            return
+        if not isinstance(stmt.op, (ast.Add, ast.Sub)):
+            return
+        if not (isinstance(stmt.value, ast.Constant) and stmt.value.value == 1):
+            return
+        target = stmt.target
+        is_state = isinstance(target, ast.Attribute) or (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+        )
+        if not is_state:
+            return  # local loop variables are not architectural state
+        target_src = ast.unparse(target)
+        # Bounded when a guard on the same target is visible: an
+        # enclosing if/while/elif condition, or a statement adjacent to
+        # the increment — or to any enclosing if/try level — performing
+        # the clamp/retire check (the post-increment idiom).
+        for frame in reversed(ancestors):
+            if isinstance(frame.stmt, (ast.If, ast.While)) and _test_mentions(
+                frame.stmt.test, target_src
+            ):
+                return
+        levels = [(body, index)]
+        for frame in reversed(ancestors):
+            if isinstance(
+                frame.stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                break  # a guard outside the enclosing function proves nothing
+            levels.append((frame.body, frame.index))
+        for level_body, level_index in levels:
+            for sibling_index in (level_index - 1, level_index + 1):
+                if 0 <= sibling_index < len(level_body):
+                    sibling = level_body[sibling_index]
+                    if isinstance(sibling, ast.If) and _test_mentions(
+                        sibling.test, target_src
+                    ):
+                        return
+        findings.append(
+            Finding(
+                rule="REPRO001",
+                file=source.relpath,
+                line=stmt.lineno,
+                symbol=_qualname(ancestors),
+                message="unbounded `{} {} 1` on predictor state".format(
+                    target_src, "+=" if isinstance(stmt.op, ast.Add) else "-="
+                ),
+                hint="use SaturatingCounter/SignedSaturatingCounter or guard "
+                "with an explicit width bound",
+            )
+        )
+
+    _walk_statements(source.tree.body, [], visit)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REPRO002 — power-of-two table sizes in *Config dataclasses
+# ----------------------------------------------------------------------
+
+_SIZE_SUFFIXES = ("entries", "rows")
+
+
+def _is_dataclass_config(node: ast.ClassDef) -> bool:
+    if not node.name.endswith("Config"):
+        return False
+    for decorator in node.decorator_list:
+        if "dataclass" in ast.unparse(decorator):
+            return True
+    return False
+
+
+def _check_table_sizes(source: ModuleSource) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not (isinstance(node, ast.ClassDef) and _is_dataclass_config(node)):
+            continue
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+                and not isinstance(stmt.value.value, bool)
+            ):
+                continue
+            name = stmt.target.id
+            value = stmt.value.value
+            if not name.endswith(_SIZE_SUFFIXES) or "log2" in name:
+                continue  # log2_* fields store exponents, not sizes
+            if value > 0 and value & (value - 1) == 0:
+                continue
+            findings.append(
+                Finding(
+                    rule="REPRO002",
+                    file=source.relpath,
+                    line=stmt.lineno,
+                    symbol=f"{node.name}.{name}",
+                    message=f"table size {name}={value} is not a power of two",
+                    hint="hardware tables index with bit masks; round to the "
+                    "nearest power of two or store log2",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REPRO003 — float arithmetic on predict/train paths
+# ----------------------------------------------------------------------
+
+
+def _check_float_paths(source: ModuleSource) -> list[Finding]:
+    if source.in_repro and not source.module.startswith(_INTEGER_PACKAGES):
+        return []
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, context: str, what: str) -> None:
+        findings.append(
+            Finding(
+                rule="REPRO003",
+                file=source.relpath,
+                line=getattr(node, "lineno", 0),
+                symbol=context,
+                message=f"{what} on the {context.rsplit('.', 1)[-1]} path",
+                hint="predict/train must be integer-only (shifts, masks, "
+                "saturating adds); precompute float constants in __init__",
+            )
+        )
+
+    def visit(stmt, ancestors, body, index):
+        if not (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in ("predict", "train")
+        ):
+            return
+        context = _qualname(ancestors + [_Frame(stmt=stmt, body=body, index=index)])
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                flag(node, context, f"float constant {node.value!r}")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                flag(node, context, "true division `/`")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                flag(node, context, "float() conversion")
+
+    _walk_statements(source.tree.body, [], visit)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REPRO004 — nondeterminism
+# ----------------------------------------------------------------------
+
+
+def _check_determinism(source: ModuleSource) -> list[Finding]:
+    if source.module in _EXEMPT_MODULES:
+        return []
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, ancestors, what: str) -> None:
+        findings.append(
+            Finding(
+                rule="REPRO004",
+                file=source.relpath,
+                line=node.lineno,
+                symbol=_qualname(ancestors),
+                message=what,
+                hint="draw randomness from repro.common.rng.XorShift64 so "
+                "every run is a pure function of its seed",
+            )
+        )
+
+    def _expressions_of(stmt: ast.stmt):
+        """Expression children only — nested statements get their own visit."""
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        yield item
+
+    def visit(stmt, ancestors, body, index):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name.split(".")[0] in _FORBIDDEN_IMPORTS:
+                    flag(stmt, ancestors, f"nondeterministic import `{alias.name}`")
+            return
+        if isinstance(stmt, ast.ImportFrom):
+            if (stmt.module or "").split(".")[0] in _FORBIDDEN_IMPORTS:
+                flag(stmt, ancestors, f"nondeterministic import `from {stmt.module}`")
+            return
+        for expression in _expressions_of(stmt):
+            for node in ast.walk(expression):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "urandom"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                ):
+                    flag(node, ancestors, "os.urandom is nondeterministic")
+
+    _walk_statements(source.tree.body, [], visit)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REPRO005 — predictor interface completeness
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ClassInfo:
+    qualname: str
+    name: str
+    module: str
+    relpath: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    members: set[str] = field(default_factory=set)
+    abstract: bool = False
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if alias.name != "*":
+                    mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _class_index(sources: list[ModuleSource]) -> dict[str, _ClassInfo]:
+    index: dict[str, _ClassInfo] = {}
+    for source in sources:
+        imports = _import_map(source.tree)
+        local_classes = {
+            node.name
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _ClassInfo(
+                qualname=f"{source.module}.{node.name}",
+                name=node.name,
+                module=source.module,
+                relpath=source.relpath,
+                line=node.lineno,
+            )
+            for base in node.bases:
+                base_src = ast.unparse(base)
+                head = base_src.split(".")[0].split("[")[0]
+                if base_src in ("ABC", "abc.ABC"):
+                    info.abstract = True
+                    continue
+                if head in local_classes and "." not in base_src:
+                    info.bases.append(f"{source.module}.{base_src}")
+                elif head in imports:
+                    resolved = imports[head]
+                    tail = base_src.split(".", 1)[1] if "." in base_src else ""
+                    info.bases.append(f"{resolved}.{tail}" if tail else resolved)
+                else:
+                    info.bases.append(base_src)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.members.add(stmt.name)
+                    for decorator in stmt.decorator_list:
+                        if "abstractmethod" in ast.unparse(decorator):
+                            info.abstract = True
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    info.members.add(stmt.target.id)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            info.members.add(target.id)
+            index[info.qualname] = info
+            # Allow resolution by bare name for fixture modules whose
+            # imports the index cannot see.
+            index.setdefault(info.name, info)
+    return index
+
+
+def _is_predictor_root(base: str) -> bool:
+    return base == _PREDICTOR_ROOT or base.endswith(f".{_PREDICTOR_ROOT}")
+
+
+def _descends_from_root(
+    info: _ClassInfo, index: dict[str, _ClassInfo], seen: set[str]
+) -> bool:
+    for base in info.bases:
+        if _is_predictor_root(base):
+            return True
+        parent = index.get(base)
+        if parent is not None and parent.qualname not in seen:
+            seen.add(parent.qualname)
+            if _descends_from_root(parent, index, seen):
+                return True
+    return False
+
+
+def _chain_defines(
+    info: _ClassInfo, member: str, index: dict[str, _ClassInfo], seen: set[str]
+) -> bool:
+    """Whether the class chain *below* BranchPredictor defines ``member``."""
+    if member in info.members:
+        return True
+    for base in info.bases:
+        if _is_predictor_root(base):
+            continue
+        parent = index.get(base)
+        if parent is not None and parent.qualname not in seen:
+            seen.add(parent.qualname)
+            if _chain_defines(parent, member, index, seen):
+                return True
+    return False
+
+
+def _check_predictor_interface(sources: list[ModuleSource]) -> list[Finding]:
+    index = _class_index(sources)
+    findings: list[Finding] = []
+    reported: set[str] = set()
+    for info in index.values():
+        if info.qualname in reported:
+            continue
+        reported.add(info.qualname)
+        if info.name == _PREDICTOR_ROOT or info.abstract:
+            continue
+        if not _descends_from_root(info, index, set()):
+            continue
+        missing = [
+            member
+            for member in _REQUIRED_MEMBERS
+            if not _chain_defines(info, member, index, set())
+        ]
+        if missing:
+            findings.append(
+                Finding(
+                    rule="REPRO005",
+                    file=info.relpath,
+                    line=info.line,
+                    symbol=info.name,
+                    message=f"BranchPredictor subclass missing {', '.join(missing)}",
+                    hint="declare a display `name`, account storage in "
+                    "`storage_bits()` and restore power-on state in `reset()`",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+#: rule id -> (short title, per-module checker or None for project-wide)
+RULES = {
+    "REPRO001": ("unbounded counter", _check_unbounded_counters),
+    "REPRO002": ("non-power-of-two table size", _check_table_sizes),
+    "REPRO003": ("float arithmetic in predict/train", _check_float_paths),
+    "REPRO004": ("nondeterminism", _check_determinism),
+    "REPRO005": ("incomplete predictor interface", None),
+}
+
+
+def lint_sources(sources: list[ModuleSource]) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in sources:
+        if source.module.startswith("repro.analysis"):
+            continue  # the analyzer does not model hardware
+        for rule_id, (_, checker) in RULES.items():
+            if checker is not None:
+                findings.extend(checker(source))
+    findings.extend(
+        _check_predictor_interface(
+            [s for s in sources if not s.module.startswith("repro.analysis")]
+        )
+    )
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def lint_paths(paths: list[Path | str]) -> list[Finding]:
+    """Lint every python file under ``paths`` and return all findings."""
+    return lint_sources(collect_sources(paths))
+
+
+def lint_source(text: str, filename: str = "<memory>") -> list[Finding]:
+    """Lint a single in-memory module (used by the rule unit tests)."""
+    source = ModuleSource(
+        path=Path(filename),
+        module=module_name_for(Path(filename)),
+        relpath=canonical_file(filename),
+        tree=ast.parse(text, filename=filename),
+    )
+    return lint_sources([source])

@@ -128,3 +128,6 @@ class AheadPipelinedBFNeural(BFNeural):
         super().train(pc, taken)
         if self.ahead > 0:
             self._take_snapshot()
+
+    def reset(self) -> None:
+        self.__init__(self.config, self.ahead)

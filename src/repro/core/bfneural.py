@@ -51,6 +51,10 @@ from repro.predictors.loop import LoopPredictor
 #: Depth ladder for the folded-history registers backing ``folded(P)``.
 _FOLD_DEPTHS = [4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048]
 
+#: Hardware threshold registers are 8-bit; the adaptive θ never gets
+#: near this in practice, but the model must saturate like the RTL.
+_THETA_MAX = 255
+
 
 def quantize_distance(distance: int) -> int:
     """Log-scale quantization of a positional distance.
@@ -267,7 +271,8 @@ class BFNeural(BranchPredictor):
             self._tc += 1
             if self._tc >= 7:
                 self._tc = 0
-                self.theta += 1
+                if self.theta < _THETA_MAX:
+                    self.theta += 1
         else:
             self._tc -= 1
             if self._tc <= -7:
@@ -317,6 +322,11 @@ class BFNeural(BranchPredictor):
         self._folds.push(taken)
 
     # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore power-on state (subclasses with extra constructor
+        arguments override and re-invoke their own ``__init__``)."""
+        self.__init__(self.config)
 
     def storage_bits(self) -> int:
         cfg = self.config

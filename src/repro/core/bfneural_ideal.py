@@ -133,6 +133,16 @@ class IdealBFNeural(BranchPredictor):
         else:
             self.rs.tick()
 
+    def reset(self) -> None:
+        self._wb = [0] * self.bias_entries
+        self._wm = [[0] * self.rs_depth for _ in range(self.wm_rows)]
+        self.rs = RecencyStack(depth=self.rs_depth, position_cap=self.rs.position_cap)
+        self._last_accum = 0
+        self._last_terms = []
+        self._last_bias_index = 0
+        self._last_non_biased = False
+        self._last_pred = False
+
     @classmethod
     def _clamp(cls, value: int) -> int:
         if value > cls._WEIGHT_MAX:

@@ -151,6 +151,9 @@ class BFTage(Tage):
             self.config.path_bits
         )
 
+    def reset(self) -> None:
+        self.__init__(self.bf_config, self.bias_oracle)
+
     def storage_bits(self) -> int:
         bits = self.base.storage_bits()
         for table in self.tables:

@@ -41,22 +41,45 @@ def bf_neural_32kb(**overrides: object) -> BFNeural:
     return BFNeural(config)
 
 
-def bf_tage_storage_table(num_tables: int = 10) -> list[tuple[str, int]]:
-    """Regenerate Table I: per-component storage of BF-TAGE, in bytes.
+def bf_tage_storage_bits(num_tables: int = 10) -> list[tuple[str, int]]:
+    """Per-component storage of BF-TAGE, in bits (no "Total" row).
 
-    Returns (component, bytes) rows followed by a "Total" row.
+    The components partition ``predictor.storage_bits()`` exactly: the
+    segmented-RS row is the segment storage minus the unfiltered ring it
+    embeds, and the path-history register — part of the model's total
+    but omitted from the paper's Table I — gets its own row.
     """
     predictor = BFTage(BFTageConfig.for_tables(num_tables))
     rows: list[tuple[str, int]] = []
-    rows.append(("Base predictor T0", predictor.base.storage_bits() // 8))
+    rows.append(("Base predictor T0", predictor.base.storage_bits()))
     for i, table in enumerate(predictor.tables):
-        rows.append((f"Tagged table T{i + 1}", table.storage_bits() // 8))
-    rows.append(("BST", predictor.bst.storage_bits() // 8))
+        rows.append((f"Tagged table T{i + 1}", table.storage_bits()))
+    rows.append(("BST", predictor.bst.storage_bits()))
     segment_bits = predictor.segments.storage_bits()
     ring_bits = predictor.segments.boundaries[-1] * (
         predictor.segments.hashed_pc_bits + 1 + 1
     )
-    rows.append(("Unfiltered history ring", ring_bits // 8))
-    rows.append(("Segmented RS entries", (segment_bits - ring_bits) // 8))
-    rows.append(("Total", predictor.storage_bits() // 8))
+    rows.append(("Unfiltered history ring", ring_bits))
+    rows.append(("Segmented RS entries", segment_bits - ring_bits))
+    rows.append(("Path history", predictor.config.path_bits))
+    return rows
+
+
+def bf_tage_storage_table(num_tables: int = 10) -> list[tuple[str, int]]:
+    """Regenerate Table I: per-component storage of BF-TAGE, in bytes.
+
+    Returns (component, bytes) rows followed by a "Total" row.  Bytes are
+    assigned from the running bit total (``cumulative // 8`` deltas), so
+    component rows always sum exactly to the Total row even when an
+    individual component is not byte-aligned — the old per-row floor
+    division dropped sub-byte remainders twice in the ring/segment split.
+    """
+    bit_rows = bf_tage_storage_bits(num_tables)
+    rows: list[tuple[str, int]] = []
+    cumulative = 0
+    for component, bits in bit_rows:
+        before = cumulative // 8
+        cumulative += bits
+        rows.append((component, cumulative // 8 - before))
+    rows.append(("Total", cumulative // 8))
     return rows

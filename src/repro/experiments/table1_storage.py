@@ -28,6 +28,8 @@ PAPER_TABLE_I = {
     "BST": 2048,
     "Unfiltered history ring": 3072,
     "Segmented RS entries": 284,
+    # "Path history" has no Table I row: the paper folds the 16-bit path
+    # register into the unaccounted control state.
     "Total": 51100,
 }
 

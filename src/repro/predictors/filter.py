@@ -56,6 +56,11 @@ class FilterPredictor(BranchPredictor):
         self._history = 0
         self._filter = [_FilterEntry() for _ in range(filter_entries)]
 
+    def reset(self) -> None:
+        self._pht = [2] * self.pht_entries
+        self._history = 0
+        self._filter = [_FilterEntry() for _ in range(self.filter_entries)]
+
     def _pht_index(self, pc: int) -> int:
         return (pc ^ self._history) & (self.pht_entries - 1)
 

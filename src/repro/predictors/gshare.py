@@ -49,5 +49,9 @@ class GShare(BranchPredictor):
     def history(self) -> int:
         return self._history
 
+    def reset(self) -> None:
+        self._history = 0
+        self._table = [2] * self.entries
+
     def storage_bits(self) -> int:
         return self.entries * 2 + self.history_bits

@@ -121,6 +121,9 @@ class LoopPredictor:
         entry.age = self.AGE_MAX
         entry.valid = True
 
+    def reset(self) -> None:
+        self._table = [[_LoopEntry() for _ in range(self.ways)] for _ in range(self.sets)]
+
     def storage_bits(self) -> int:
         per_entry = self.tag_bits + 14 + 14 + 2 + 3 + 1
         return self.entries * per_entry
@@ -141,6 +144,9 @@ class LoopOnly(BranchPredictor):
 
     def train(self, pc: int, taken: bool) -> None:
         self.loop.update(pc, taken)
+
+    def reset(self) -> None:
+        self.loop.reset()
 
     def storage_bits(self) -> int:
         return self.loop.storage_bits()

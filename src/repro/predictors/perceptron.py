@@ -61,5 +61,11 @@ class GlobalPerceptron(BranchPredictor):
         self._history[1:] = self._history[:-1]
         self._history[0] = 1 if taken else -1
 
+    def reset(self) -> None:
+        self._weights.fill(0)
+        self._history.fill(1)
+        self._last_row = 0
+        self._last_sum = 0
+
     def storage_bits(self) -> int:
         return self.rows * (self.history_length + 1) * 8 + self.history_length

@@ -94,6 +94,15 @@ class PiecewiseLinear(BranchPredictor):
         self._path[1:] = self._path[:-1]
         self._path[0] = pc % self.path_columns
 
+    def reset(self) -> None:
+        self._weights.fill(0)
+        self._bias.fill(0)
+        self._history.fill(1)
+        self._path.fill(0)
+        self._last_sum = 0
+        self._last_row = 0
+        self._last_bias_index = 0
+
     def storage_bits(self) -> int:
         weight_bits = self.pc_rows * self.history_length * self.path_columns * 8
         bias_bits = self.bias_entries * 8

@@ -26,6 +26,10 @@ from repro.predictors.base import BranchPredictor
 _WEIGHT_MIN = -128
 _WEIGHT_MAX = 127
 
+#: Hardware threshold registers are 8-bit; the adaptive θ never gets
+#: near this in practice, but the model must saturate like the RTL.
+_THETA_MAX = 255
+
 
 class ScaledNeural(BranchPredictor):
     """Hashed, coefficient-scaled neural predictor with adaptive θ."""
@@ -102,7 +106,8 @@ class ScaledNeural(BranchPredictor):
                 self._tc += 1
                 if self._tc >= 7:
                     self._tc = 0
-                    self.theta += 1
+                    if self.theta < _THETA_MAX:
+                        self.theta += 1
             else:
                 self._tc -= 1
                 if self._tc <= -7:
@@ -113,6 +118,17 @@ class ScaledNeural(BranchPredictor):
         self._history[0] = 1 if taken else -1
         self._path[1:] = self._path[:-1]
         self._path[0] = pc & 0xFFFF
+
+    def reset(self) -> None:
+        self._weights.fill(0)
+        self._bias.fill(0)
+        self._history.fill(1)
+        self._path.fill(0)
+        self.theta = int(2.0 * float(self._scale.sum()) + 16)
+        self._tc = 0
+        self._last_sum = 0.0
+        self._last_cols = np.zeros(self.history_length, dtype=np.int64)
+        self._last_bias_index = 0
 
     def storage_bits(self) -> int:
         weight_bits = self.history_length * self.columns * 8

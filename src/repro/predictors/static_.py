@@ -21,6 +21,12 @@ class AlwaysTaken(BranchPredictor):
     def train(self, pc: int, taken: bool) -> None:
         return None
 
+    def reset(self) -> None:
+        return None
+
+    def storage_bits(self) -> int:
+        return 0
+
 
 class Bimodal(BranchPredictor):
     """A PC-indexed table of 2-bit saturating counters.
@@ -58,6 +64,9 @@ class Bimodal(BranchPredictor):
     def counter(self, pc: int) -> int:
         """Raw counter value for the entry ``pc`` maps to (for tests)."""
         return self._table[pc & self._mask]
+
+    def reset(self) -> None:
+        self._table = [self._threshold] * self.entries
 
     def storage_bits(self) -> int:
         return self.entries * self.counter_bits

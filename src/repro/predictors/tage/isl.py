@@ -123,6 +123,20 @@ class ISLTage(BranchPredictor):
                 self._sc[index] = counter - 1
         self.tage.train(pc, taken)
 
+    def reset(self) -> None:
+        self.tage.reset()
+        if self.loop is not None:
+            self.loop.reset()
+        self._withloop = -1
+        self._sc = [0] * len(self._sc)
+        self._last_tage_pred = False
+        self._last_loop_pred = False
+        self._last_loop_valid = False
+        self._last_sc_index = 0
+        self._last_sc_used = False
+        self._last_pred = False
+        self._last_provider_name = "base"
+
     def storage_bits(self) -> int:
         bits = self.tage.storage_bits()
         if self.loop is not None:

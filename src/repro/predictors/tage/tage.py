@@ -315,6 +315,11 @@ class Tage(BranchPredictor):
             self.config.path_bits
         )
 
+    def reset(self) -> None:
+        """Restore power-on state (subclasses with extra constructor
+        arguments override and re-invoke their own ``__init__``)."""
+        self.__init__(self.config)
+
     def storage_bits(self) -> int:
         bits = self.base.storage_bits()
         for table in self.tables:

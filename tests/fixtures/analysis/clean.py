@@ -1,0 +1,37 @@
+"""Negative fixture: hardware-faithful module no REPRO rule should flag."""
+
+from dataclasses import dataclass
+
+from repro.common.counters import SaturatingCounter
+from repro.core.base import BranchPredictor
+
+
+@dataclass(frozen=True)
+class TidyConfig:
+    table_entries: int = 2048
+    log2_rows: int = 9
+
+
+class TidyPredictor(BranchPredictor):
+    def __init__(self, config: TidyConfig = TidyConfig()) -> None:
+        self.config = config
+        self.table = [SaturatingCounter(bits=2) for _ in range(config.table_entries)]
+        self.age = 0
+
+    @property
+    def name(self) -> str:
+        return "tidy"
+
+    def predict(self, pc: int) -> bool:
+        return self.table[pc & (self.config.table_entries - 1)].taken
+
+    def train(self, pc: int, taken: bool) -> None:
+        self.table[pc & (self.config.table_entries - 1)].update(taken)
+        if self.age < 255:
+            self.age += 1
+
+    def storage_bits(self) -> int:
+        return 2 * self.config.table_entries + 8
+
+    def reset(self) -> None:
+        self.__init__(self.config)

@@ -1,0 +1,12 @@
+"""REPRO002 fixture: a *Config dataclass with a non-power-of-two table."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SloppyConfig:
+    table_entries: int = 1000  # REPRO002: not a power of two
+    wm_rows: int = 48  # REPRO002
+    good_entries: int = 4096  # fine
+    log2_entries: int = 12  # fine: stores an exponent, not a size
+    tag_bits: int = 11  # fine: not a size field

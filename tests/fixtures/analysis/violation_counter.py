@@ -1,0 +1,25 @@
+"""REPRO001 fixture: bare increments on predictor state, no bound in sight."""
+
+
+class LeakyCounterPredictor:
+    def __init__(self) -> None:
+        self.streak = 0
+        self.table = [0] * 16
+
+    def train(self, taken: bool) -> None:
+        if taken:
+            self.streak += 1  # REPRO001: no saturation, no guard
+        else:
+            self.streak -= 1  # REPRO001
+        self.table[3] += 1  # REPRO001: subscript on attribute state
+
+    def bounded_ok(self) -> None:
+        # Pre-guard idiom: enclosing if mentions the target — not flagged.
+        if self.streak < 7:
+            self.streak += 1
+
+    def post_check_ok(self) -> None:
+        # Post-check idiom: adjacent sibling if clamps — not flagged.
+        self.streak += 1
+        if self.streak >= 7:
+            self.streak = 7

@@ -1,0 +1,17 @@
+"""REPRO003 fixture: float arithmetic on the predict/train paths."""
+
+
+class AnalogishPredictor:
+    def __init__(self) -> None:
+        # Floats in __init__ are fine — precomputation is the sanctioned fix.
+        self.scale = 1.0 / 3
+
+    def predict(self, pc: int) -> bool:
+        weight = pc * 0.5  # REPRO003: float constant
+        return weight / 2 > 1  # REPRO003: true division
+
+    def train(self, pc: int, taken: bool) -> None:
+        self.scale = float(pc)  # REPRO003: float() conversion
+
+    def helper(self) -> float:
+        return 2.5  # fine: not on a predict/train path

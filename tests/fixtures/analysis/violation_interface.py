@@ -1,0 +1,11 @@
+"""REPRO005 fixture: a concrete BranchPredictor missing required members."""
+
+from repro.core.base import BranchPredictor
+
+
+class HalfBaked(BranchPredictor):  # REPRO005: missing name/storage_bits/reset
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def train(self, pc: int, taken: bool) -> None:
+        pass

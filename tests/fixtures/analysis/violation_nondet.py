@@ -1,0 +1,11 @@
+"""REPRO004 fixture: nondeterministic imports and entropy sources."""
+
+import os
+import random  # REPRO004
+from time import perf_counter  # REPRO004
+
+
+def roll() -> int:
+    seed = os.urandom(8)  # REPRO004
+    random.seed(seed)
+    return int(perf_counter())

@@ -21,8 +21,15 @@ class TestInterfaceDefaults:
         assert predictor.provider == "always-taken"
 
     def test_default_reset_unsupported(self):
+        class Minimal(BranchPredictor):
+            def predict(self, pc):
+                return True
+
+            def train(self, pc, taken):
+                return None
+
         with pytest.raises(NotImplementedError):
-            AlwaysTaken().reset()
+            Minimal().reset()
 
     def test_abstract_methods_enforced(self):
         with pytest.raises(TypeError):

@@ -2,12 +2,10 @@
 
 from pathlib import Path
 
-import pytest
-
 from repro.core import BFISLTage
 from repro.core.bfneural import BFNeural
 from repro.experiments import common
-from repro.predictors import ISLTage, ScaledNeural
+from repro.predictors import ISLTage
 
 
 class TestParser:

@@ -122,7 +122,12 @@ class TestTageConfig:
 
     def test_mismatched_lists_rejected(self):
         with pytest.raises(ValueError):
-            TageConfig(num_tables=4, history_lengths=[3, 8], log2_entries=[10] * 4, tag_bits=[8] * 4)
+            TageConfig(
+                num_tables=4,
+                history_lengths=[3, 8],
+                log2_entries=[10] * 4,
+                tag_bits=[8] * 4,
+            )
 
     def test_non_increasing_lengths_rejected(self):
         with pytest.raises(ValueError):

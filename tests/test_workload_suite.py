@@ -3,7 +3,7 @@
 import pytest
 
 from repro.trace.stats import compute_stats
-from repro.workloads.profiles import CategoryProfile, categories, profile_for
+from repro.workloads.profiles import categories, profile_for
 from repro.workloads.suite import (
     SUITE_NAMES,
     _category_of,
