@@ -1,0 +1,84 @@
+"""Benchmark: orchestration speedup and cache-hit fast-path latency.
+
+Measures the two numbers the orchestration engine exists for: wall-clock
+speedup of ``jobs=N`` over the serial path on a predictor × trace grid,
+and the latency of a fully cached campaign (every task served from the
+content-addressed store without simulating).  Both land in the usual
+BENCH json via ``benchmark.extra_info``.
+
+The speedup assertion only arms on boxes with >= 4 cores (the
+acceptance grid); on smaller machines the numbers are still recorded.
+"""
+
+import multiprocessing
+import os
+from functools import partial
+
+import pytest
+
+from repro.orchestration import CampaignPlan, Telemetry, TraceSpec, run_plan
+from repro.orchestration.telemetry import monotonic
+from repro.predictors import ISLTage, TageConfig
+
+GRID_TRACES = ["FP1", "INT1", "MM1", "SERV1"]
+GRID_BRANCHES = 3_000
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel scheduler requires the fork start method",
+)
+
+
+def _isl_tage(num_tables: int) -> ISLTage:
+    return ISLTage(TageConfig.for_tables(num_tables))
+
+
+def grid_plan(jobs: int, store_dir=None) -> CampaignPlan:
+    return CampaignPlan(
+        factories={"isl-tage10": partial(_isl_tage, 10)},
+        traces=[TraceSpec.suite(name, GRID_BRANCHES) for name in GRID_TRACES],
+        store_dir=store_dir,
+        jobs=jobs,
+    )
+
+
+@needs_fork
+def test_campaign_speedup(benchmark):
+    jobs = os.cpu_count() or 1
+
+    started = monotonic()
+    serial = run_plan(grid_plan(jobs=1))
+    serial_s = monotonic() - started
+
+    started = monotonic()
+    parallel = benchmark.pedantic(
+        run_plan, args=(grid_plan(jobs=jobs),), rounds=1, iterations=1
+    )
+    parallel_s = monotonic() - started
+
+    assert parallel == serial  # bit-identical results whatever jobs was
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["tasks"] = len(GRID_TRACES)
+    if jobs >= 4:
+        assert speedup > 1.5
+
+
+def test_cache_hit_fast_path(benchmark, tmp_path):
+    store = tmp_path / "store"
+    run_plan(grid_plan(jobs=1, store_dir=store))  # prewarm
+
+    def cached_run():
+        telemetry = Telemetry()
+        results = run_plan(grid_plan(jobs=1, store_dir=store), telemetry)
+        return results, telemetry
+
+    (results, telemetry) = benchmark.pedantic(cached_run, rounds=3, iterations=1)
+    assert telemetry.cache_hits == len(GRID_TRACES)
+    assert telemetry.simulated == 0
+    per_hit_ms = 1000.0 * telemetry.elapsed_s() / len(GRID_TRACES)
+    benchmark.extra_info["tasks"] = len(GRID_TRACES)
+    benchmark.extra_info["per_hit_ms"] = round(per_hit_ms, 3)

@@ -20,4 +20,11 @@ python3 -m repro.experiments.fig8_mpki     --verbose --output results/fig8.txt
 python3 -m repro.experiments.fig9_ablation --verbose --output results/fig9.txt
 python3 -m repro.experiments.energy_analysis --output results/energy.txt > /dev/null 2>&1
 python3 -m repro.experiments.profile_assisted --output results/profile_assisted.txt > /dev/null 2>&1
+# Orchestrated campaign: the same predictors fanned over the suite via
+# the process-pool engine, with checkpoint/resume and JSONL telemetry.
+# Content-addressed caching means figure runs above already warmed most
+# of this grid.
+python3 -m repro campaign --predictors oh-snap tage15 bf-neural \
+    --jobs "$(nproc)" --telemetry results/campaign-telemetry.jsonl \
+    --output results/campaign.txt --quiet
 echo ALL_EXPERIMENTS_DONE

@@ -6,6 +6,9 @@ Subcommands:
 * ``generate``  — write suite traces to disk in the BFBP binary format.
 * ``stats``     — bias statistics for traces (by name or .bfbp file).
 * ``simulate``  — run predictors over traces and print MPKI.
+* ``campaign``  — run a predictor × trace grid through the orchestration
+  engine: parallel workers, content-addressed caching, manifest
+  checkpoint/resume and JSONL telemetry.
 * ``diagnose``  — attribute mispredictions to static branches.
 * ``storage``   — storage budgets of the standard configurations.
 
@@ -19,42 +22,17 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.sim import simulate as run_simulation
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import Trace
 from repro.trace.stats import compute_stats
 from repro.workloads import SUITE_NAMES, build_trace, trace_names
 
-#: Predictor registry for the ``simulate`` subcommand.
-def _predictor_registry() -> dict:
-    from repro.core import BFTage, BFTageConfig, bf_neural_32kb, bf_neural_64kb
-    from repro.core.ahead import AheadPipelinedBFNeural
-    from repro.predictors import (
-        Bimodal,
-        GShare,
-        GlobalPerceptron,
-        ISLTage,
-        ScaledNeural,
-        Tage,
-        TageConfig,
-    )
-    from repro.predictors.filter import FilterPredictor
 
-    return {
-        "bimodal": Bimodal,
-        "gshare": GShare,
-        "filter": FilterPredictor,
-        "perceptron": lambda: GlobalPerceptron(rows=1024, history_length=64),
-        "oh-snap": ScaledNeural,
-        "tage10": lambda: Tage(TageConfig.for_tables(10)),
-        "tage15": lambda: Tage(TageConfig.for_tables(15)),
-        "isl-tage10": lambda: ISLTage(TageConfig.for_tables(10)),
-        "isl-tage15": lambda: ISLTage(TageConfig.for_tables(15)),
-        "bf-tage10": lambda: BFTage(BFTageConfig.for_tables(10)),
-        "bf-neural": bf_neural_64kb,
-        "bf-neural-32k": bf_neural_32kb,
-        "bf-neural-ahead": AheadPipelinedBFNeural,
-    }
+def _predictor_registry() -> dict:
+    """Named predictor factories (picklable, shared with ``campaign``)."""
+    from repro.orchestration import standard_registry
+
+    return standard_registry()
 
 
 def _load_trace(spec: str, branches: int | None) -> Trace:
@@ -99,23 +77,126 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _grid_specs(args: argparse.Namespace) -> tuple[dict, list]:
+    """Resolve predictor names and trace specs for a simulation grid."""
+    from repro.orchestration import trace_spec_for
+
     registry = _predictor_registry()
     unknown = [name for name in args.predictors if name not in registry]
     if unknown:
         raise SystemExit(
             f"unknown predictor(s) {unknown}; available: {', '.join(sorted(registry))}"
         )
+    factories = {name: registry[name] for name in args.predictors}
+    try:
+        specs = [trace_spec_for(spec, args.branches) for spec in args.traces]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return factories, specs
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.orchestration import CampaignPlan, run_plan
+
+    factories, specs = _grid_specs(args)
+    results = run_plan(
+        CampaignPlan(factories=factories, traces=specs, jobs=args.jobs)
+    )
     print(f"{'trace':10s} {'predictor':16s} {'MPKI':>8s} {'rate':>8s}")
-    for spec in args.traces:
-        trace = _load_trace(spec, args.branches)
+    for position, spec in enumerate(specs):
         for name in args.predictors:
-            result = run_simulation(registry[name](), trace)
+            result = results[name][position]
             print(
-                f"{trace.name:10s} {name:16s} {result.mpki:8.3f} "
+                f"{result.trace_name:10s} {name:16s} {result.mpki:8.3f} "
                 f"{result.misprediction_rate:7.2%}"
             )
     return 0
+
+
+def _progress_printer():
+    """Live one-line-per-event campaign progress for interactive runs."""
+
+    def printer(event: dict) -> None:
+        kind = event["event"]
+        if kind == "progress":
+            eta = event["eta_s"]
+            eta_text = f"eta {eta:.0f}s" if eta is not None else "eta --"
+            print(
+                f"[{event['done']}/{event['total']}] "
+                f"{event['tasks_per_s']:.2f} tasks/s {eta_text}",
+                flush=True,
+            )
+        elif kind == "task_failed" and event.get("final"):
+            print(
+                f"FAILED {event['config']} × {event['trace']}: {event['error']}",
+                flush=True,
+            )
+        elif kind == "worker_restart":
+            print(
+                f"worker {event['worker']} restarted ({event['reason']})",
+                flush=True,
+            )
+        elif kind == "manifest_resume":
+            print(
+                f"resuming manifest: {event['done']} done, "
+                f"{event['failed']} failed, {event['pending']} pending",
+                flush=True,
+            )
+
+    return printer
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.orchestration import (
+        CampaignError,
+        CampaignPlan,
+        Telemetry,
+        run_plan,
+    )
+    from repro.sim.metrics import aggregate_mpki
+
+    if not args.traces:
+        args.traces = trace_names(args.categories)
+    factories, specs = _grid_specs(args)
+    store_dir = Path(args.cache_dir) if args.cache_dir else None
+    manifest_path = args.manifest
+    if manifest_path is None and store_dir is not None:
+        manifest_path = store_dir / "campaign-manifest.json"
+    plan = CampaignPlan(
+        factories=factories,
+        traces=specs,
+        store_dir=store_dir,
+        jobs=args.jobs,
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+        manifest_path=Path(manifest_path) if manifest_path else None,
+        allow_failures=True,
+    )
+    total = len(factories) * len(specs)
+    subscribers = () if args.quiet else (_progress_printer(),)
+    with Telemetry(jsonl_path=args.telemetry, subscribers=subscribers) as telemetry:
+        try:
+            results = run_plan(plan, telemetry)
+        except CampaignError as exc:  # pragma: no cover - allow_failures=True
+            raise SystemExit(str(exc))
+        failed = sum(
+            1 for per_trace in results.values() for r in per_trace if r is None
+        )
+        lines = [f"{'predictor':16s} {'traces':>7s} {'avg MPKI':>9s}"]
+        for name, per_trace in results.items():
+            ok = [r for r in per_trace if r is not None]
+            avg = f"{aggregate_mpki(ok):9.3f}" if ok else f"{'--':>9s}"
+            lines.append(f"{name:16s} {len(ok):7d} {avg}")
+        lines.append(
+            f"{telemetry.done}/{total} tasks ({telemetry.cache_hits} cached, "
+            f"{failed} failed) in {telemetry.elapsed_s():.1f}s"
+        )
+        report = "\n".join(lines)
+        print(report)
+        if args.output:
+            Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.output).write_text(report + "\n")
+    return 1 if failed else 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -176,7 +257,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("traces", nargs="+")
     p_sim.add_argument("--predictors", nargs="+", default=["bf-neural"])
     p_sim.add_argument("--branches", type=int, default=None)
+    p_sim.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a predictor × trace grid: parallel workers, "
+        "content-addressed cache, checkpoint/resume, telemetry",
+    )
+    p_camp.add_argument(
+        "traces", nargs="*", help="suite names or .bfbp files (default: full suite)"
+    )
+    p_camp.add_argument("--categories", nargs="*", default=None)
+    p_camp.add_argument("--predictors", nargs="+", default=["bf-neural"])
+    p_camp.add_argument("--branches", type=int, default=None)
+    p_camp.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_camp.add_argument(
+        "--cache-dir",
+        default=".bfbp-cache",
+        help="content-addressed result store ('' disables caching)",
+    )
+    p_camp.add_argument(
+        "--manifest",
+        default=None,
+        help="checkpoint manifest path (default: <cache-dir>/campaign-manifest.json)",
+    )
+    p_camp.add_argument(
+        "--telemetry", default=None, help="append JSONL telemetry events to this file"
+    )
+    p_camp.add_argument(
+        "--timeout", type=float, default=None, help="per-task timeout in seconds"
+    )
+    p_camp.add_argument(
+        "--retries", type=int, default=1, help="retries per task on crash/timeout"
+    )
+    p_camp.add_argument("--output", default=None, help="also write the report here")
+    p_camp.add_argument("--quiet", action="store_true", help="suppress live progress")
+    p_camp.set_defaults(fn=_cmd_campaign)
 
     p_diag = sub.add_parser("diagnose", help="attribute mispredictions per branch")
     p_diag.add_argument("traces", nargs="+")

@@ -13,6 +13,7 @@ all evaluate the same predictors:
 from __future__ import annotations
 
 import argparse
+import functools
 from pathlib import Path
 
 from repro.core import BFISLTage, BFTageConfig, bf_neural_64kb
@@ -50,6 +51,12 @@ def make_parser(description: str) -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="also write the report to this file"
     )
     parser.add_argument("--verbose", action="store_true", help="per-trace progress")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation grid (1 = serial)",
+    )
     return parser
 
 
@@ -63,6 +70,15 @@ def cache_dir_of(args: argparse.Namespace) -> Path | None:
     if args.cache_dir in (None, Path("")):
         return None
     return args.cache_dir
+
+
+def campaign_options(args: argparse.Namespace) -> dict:
+    """Campaign keyword arguments every figure script shares."""
+    return {
+        "cache_dir": cache_dir_of(args),
+        "verbose": args.verbose,
+        "jobs": getattr(args, "jobs", 1),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -116,5 +132,10 @@ def bf_neural_stage(stage: int) -> BFNeural:
 
 
 def factory(fn, *args) -> PredictorFactory:
-    """Bind a factory function with arguments (picklable-free closure)."""
-    return lambda: fn(*args)
+    """Bind a factory function with arguments.
+
+    ``functools.partial`` over a module-level function pickles by
+    reference, so bound factories can be dispatched to the orchestration
+    layer's worker processes (a lambda would force serial fallback).
+    """
+    return functools.partial(fn, *args)

@@ -25,8 +25,7 @@ def run(args) -> str:
     campaign = Campaign(
         factories=factories,
         traces=traces,
-        cache_dir=common.cache_dir_of(args),
-        verbose=args.verbose,
+        **common.campaign_options(args),
     )
     results = run_campaign(campaign)
 

@@ -29,8 +29,7 @@ def run(args) -> str:
             "BF-ISL-TAGE-10": common.factory(common.bf_isl_tage, 10),
         },
         traces=traces,
-        cache_dir=common.cache_dir_of(args),
-        verbose=args.verbose,
+        **common.campaign_options(args),
     )
     results = run_campaign(campaign)
 

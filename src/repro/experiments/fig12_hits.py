@@ -45,8 +45,7 @@ def run(args) -> str:
         },
         traces=traces,
         track_providers=True,
-        cache_dir=common.cache_dir_of(args),
-        verbose=args.verbose,
+        **common.campaign_options(args),
     )
     results = run_campaign(campaign)
 

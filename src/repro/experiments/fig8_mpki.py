@@ -24,8 +24,7 @@ def run(args) -> str:
             "BF-Neural": common.bf_neural,
         },
         traces=traces,
-        cache_dir=common.cache_dir_of(args),
-        verbose=args.verbose,
+        **common.campaign_options(args),
     )
     results = run_campaign(campaign)
 

@@ -39,8 +39,7 @@ def run(args) -> str:
             STAGES[3]: common.factory(common.bf_neural_stage, 3),
         },
         traces=traces,
-        cache_dir=common.cache_dir_of(args),
-        verbose=args.verbose,
+        **common.campaign_options(args),
     )
     results = run_campaign(campaign)
 

@@ -1,0 +1,58 @@
+"""Parallel campaign orchestration: the execution substrate for sweeps.
+
+Every predictor × trace grid in the repo — the figure scripts, ``repro
+simulate``/``repro campaign``, the benchmarks — runs through
+:func:`run_plan`:
+
+* ``scheduler`` — process-pool fan-out with per-task timeout, bounded
+  retry on worker crash, and deterministic result ordering (``jobs=1``
+  is the reference serial path; ``jobs=N`` is bit-identical),
+* ``fingerprint``/``store`` — content-addressed result caching keyed by
+  predictor config + code + trace identity, replacing the stale-prone
+  name-keyed ``.bfbp-cache``,
+* ``manifest`` — a JSON checkpoint so interrupted sweeps resume instead
+  of restarting,
+* ``telemetry`` — JSON-lines progress events (see
+  ``docs/orchestration.md`` for the schema).
+"""
+
+from repro.orchestration.engine import CampaignError, CampaignPlan, run_plan
+from repro.orchestration.fingerprint import (
+    predictor_fingerprint,
+    task_fingerprint,
+    trace_content_fingerprint,
+)
+from repro.orchestration.manifest import CampaignManifest, campaign_id_of
+from repro.orchestration.registry import standard_registry, trace_spec_for
+from repro.orchestration.store import ResultStore
+from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
+from repro.orchestration.telemetry import (
+    EVENT_FIELDS,
+    Telemetry,
+    make_event,
+    read_events,
+    validate_event,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignManifest",
+    "CampaignPlan",
+    "EVENT_FIELDS",
+    "PredictorFactory",
+    "ResultStore",
+    "Task",
+    "TaskOutcome",
+    "Telemetry",
+    "TraceSpec",
+    "campaign_id_of",
+    "make_event",
+    "predictor_fingerprint",
+    "read_events",
+    "run_plan",
+    "standard_registry",
+    "task_fingerprint",
+    "trace_content_fingerprint",
+    "trace_spec_for",
+    "validate_event",
+]

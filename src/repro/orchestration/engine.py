@@ -1,0 +1,242 @@
+"""The campaign engine: plan a grid, serve caches, schedule the rest.
+
+``run_plan`` is the single execution substrate every campaign goes
+through — the legacy ``repro.sim.runner.run_campaign`` shim, the figure
+scripts, ``repro simulate --jobs N`` and ``repro campaign`` all build a
+:class:`CampaignPlan` and call it.  The flow:
+
+1. fingerprint every (factory × trace) cell (one throwaway predictor
+   instantiation per factory),
+2. open the manifest (if configured) — resuming an interrupted sweep of
+   the *same* grid, discarding a stale one,
+3. serve cache hits from the content-addressed result store,
+4. fan the misses out over the scheduler (serial for ``jobs=1``),
+   checkpointing the manifest and store after every settled task,
+5. assemble ``{config_name: [result per trace, in trace order]}`` —
+   bit-identical whatever ``jobs`` was.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.orchestration import scheduler
+from repro.orchestration.fingerprint import predictor_fingerprint, task_fingerprint
+from repro.orchestration.manifest import STATUS_DONE, CampaignManifest, campaign_id_of
+from repro.orchestration.store import ResultStore
+from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
+from repro.orchestration.telemetry import Telemetry
+from repro.sim.metrics import SimulationResult
+from repro.trace.records import Trace
+
+
+class CampaignError(RuntimeError):
+    """Raised when tasks fail and the plan does not allow failures."""
+
+    def __init__(self, failures: list[TaskOutcome]) -> None:
+        self.failures = failures
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} campaign task(s) failed; first: "
+            f"{first.task.config_name} × {first.task.trace.name}: "
+            f"{(first.error or '').strip().splitlines()[-1]}"
+        )
+
+
+@dataclass
+class CampaignPlan:
+    """Everything needed to execute one predictor × trace grid."""
+
+    factories: dict[str, PredictorFactory]
+    traces: list[Trace | TraceSpec]
+    track_providers: bool = False
+    store_dir: Path | None = None
+    jobs: int = 1
+    task_timeout: float | None = None
+    max_retries: int = 1
+    manifest_path: Path | None = None
+    allow_failures: bool = False
+    verbose: bool = False
+    trace_specs: list[TraceSpec] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.trace_specs = [TraceSpec.of(trace) for trace in self.traces]
+
+
+def build_tasks(plan: CampaignPlan) -> list[Task]:
+    """Fingerprint the grid into scheduler tasks, row-major by factory."""
+    tasks: list[Task] = []
+    index = 0
+    trace_identities = [spec.identity() for spec in plan.trace_specs]
+    for config_name, factory in plan.factories.items():
+        predictor_fp = predictor_fingerprint(factory())
+        for spec, trace_identity in zip(plan.trace_specs, trace_identities):
+            tasks.append(
+                Task(
+                    index=index,
+                    config_name=config_name,
+                    factory=factory,
+                    trace=spec,
+                    track_providers=plan.track_providers,
+                    fingerprint=task_fingerprint(
+                        predictor_fp, trace_identity, plan.track_providers
+                    ),
+                )
+            )
+            index += 1
+    return tasks
+
+
+def _picklable(tasks: list[Task]) -> bool:
+    try:
+        pickle.dumps([(task.factory, task.trace) for task in tasks])
+        return True
+    except Exception:
+        return False
+
+
+def _verbose_printer(event: dict) -> None:
+    if event["event"] == "task_finish":
+        print(
+            f"  {event['config']:28s} {event['trace']:8s} "
+            f"mpki={event['mpki']:6.3f} ({event['elapsed_s']:.2f}s)",
+            flush=True,
+        )
+    elif event["event"] in ("task_failed", "worker_restart", "cache_corrupt"):
+        print(f"  [{event['event']}] {event}", flush=True)
+
+
+def run_plan(
+    plan: CampaignPlan, telemetry: Telemetry | None = None
+) -> dict[str, list[SimulationResult]]:
+    """Execute a plan; see the module docstring for the flow."""
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    if plan.verbose:
+        telemetry.subscribe(_verbose_printer)
+
+    tasks = build_tasks(plan)
+    jobs = plan.jobs
+    if jobs > 1 and not _picklable(tasks):
+        telemetry.emit(
+            "serial_fallback",
+            reason="factory or trace not picklable; use module-level "
+            "functions/functools.partial for parallel campaigns",
+        )
+        jobs = 1
+
+    telemetry.emit(
+        "campaign_start",
+        campaign_id=campaign_id_of(tasks),
+        total_tasks=len(tasks),
+        jobs=jobs,
+    )
+
+    store = (
+        ResultStore(plan.store_dir, telemetry) if plan.store_dir is not None else None
+    )
+    manifest = (
+        CampaignManifest.begin(plan.manifest_path, tasks)
+        if plan.manifest_path is not None
+        else None
+    )
+    if manifest is not None:
+        counts = manifest.counts()
+        if counts[STATUS_DONE] or counts["failed"]:
+            telemetry.emit(
+                "manifest_resume",
+                done=counts[STATUS_DONE],
+                failed=counts["failed"],
+                pending=counts["pending"],
+            )
+
+    # Cache pass: settle every task the store already answers.
+    settled: dict[int, TaskOutcome] = {}
+    to_run: list[Task] = []
+    for task in tasks:
+        cached = (
+            store.load(task.fingerprint, require_providers=task.track_providers)
+            if store is not None
+            else None
+        )
+        if cached is not None:
+            telemetry.emit(
+                "cache_hit",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                fingerprint=task.fingerprint,
+            )
+            settled[task.index] = TaskOutcome(
+                task=task, result=cached, attempts=0, from_cache=True
+            )
+            if manifest is not None and manifest.status_of(task.fingerprint) != STATUS_DONE:
+                manifest.mark_done(task, attempts=0)
+            continue
+        if store is not None:
+            telemetry.emit(
+                "cache_miss",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                fingerprint=task.fingerprint,
+            )
+        to_run.append(task)
+
+    total = len(tasks)
+
+    def on_outcome(outcome: TaskOutcome) -> None:
+        if outcome.ok:
+            if store is not None:
+                store.store(outcome.task.fingerprint, outcome.result)
+            if manifest is not None:
+                manifest.mark_done(outcome.task, attempts=outcome.attempts)
+        elif manifest is not None:
+            manifest.mark_failed(
+                outcome.task,
+                attempts=outcome.attempts,
+                error=(outcome.error or "").strip().splitlines()[-1]
+                if outcome.error
+                else "unknown",
+            )
+        eta = telemetry.eta_s(total)
+        telemetry.emit(
+            "progress",
+            done=telemetry.done,
+            total=total,
+            tasks_per_s=round(telemetry.tasks_per_s(), 3),
+            eta_s=round(eta, 1) if eta != float("inf") else None,
+        )
+
+    if to_run:
+        for outcome in scheduler.execute_tasks(
+            to_run,
+            jobs=jobs,
+            telemetry=telemetry,
+            task_timeout=plan.task_timeout,
+            max_retries=plan.max_retries,
+            on_outcome=on_outcome,
+        ):
+            settled[outcome.task.index] = outcome
+
+    failures = [outcome for outcome in settled.values() if not outcome.ok]
+    telemetry.emit(
+        "campaign_finish",
+        done=sum(1 for outcome in settled.values() if outcome.ok),
+        failed=len(failures),
+        cache_hits=telemetry.cache_hits,
+        elapsed_s=round(telemetry.elapsed_s(), 6),
+    )
+    if failures and not plan.allow_failures:
+        raise CampaignError(sorted(failures, key=lambda o: o.task.index))
+
+    results: dict[str, list[SimulationResult]] = {}
+    index = 0
+    for config_name in plan.factories:
+        per_trace: list[SimulationResult | None] = []
+        for _ in plan.trace_specs:
+            per_trace.append(settled[index].result)
+            index += 1
+        results[config_name] = per_trace
+    return results

@@ -1,0 +1,115 @@
+"""Content-addressed fingerprints for campaign tasks.
+
+The legacy ``.bfbp-cache`` keyed results by *display name*
+(``"BF-Neural__FP1__30000.json"``), so editing a predictor's code or
+config silently served stale MPKI.  Here a task's cache key is a digest
+over everything the result depends on:
+
+* the predictor's class, display name and ``storage_bits()``,
+* its ``*Config`` dataclass contents (when it exposes ``.config``),
+* the source code of every class in the predictor's MRO plus the
+  simulator loop itself (so editing ``train()`` invalidates results),
+* the trace identity (suite name + branch budget for generated traces,
+  file content digest for ``.bfbp`` files, full content digest for
+  in-memory traces), and
+* whether provider attribution was requested.
+
+Fingerprints are hex SHA-256 strings; equality of fingerprints is the
+cache-hit criterion and inequality after any edit is what the
+fingerprint-invalidation tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+from array import array
+
+from repro.predictors.base import BranchPredictor
+from repro.sim import simulator
+from repro.trace.records import Trace
+
+#: Per-class source digests (module files change rarely within a run).
+_SOURCE_CACHE: dict[type, str] = {}
+
+
+def _canonical(data: object) -> str:
+    """Deterministic JSON for dicts/dataclasses; ``repr`` as fallback."""
+    return json.dumps(data, sort_keys=True, default=repr)
+
+
+def source_fingerprint(cls: type) -> str:
+    """Digest of the source files defining ``cls`` and its bases.
+
+    Includes the simulator module so a change to the evaluation loop
+    also invalidates cached results.  Classes without retrievable
+    source (builtins, REPL definitions) contribute their qualname only.
+    """
+    cached = _SOURCE_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    seen: set[str] = set()
+    modules = [simulator]
+    for klass in cls.__mro__:
+        if klass in (object, BranchPredictor):
+            continue
+        module = inspect.getmodule(klass)
+        if module is not None:
+            modules.append(module)
+    for module in modules:
+        if module.__name__ in seen:
+            continue
+        seen.add(module.__name__)
+        digest.update(module.__name__.encode())
+        try:
+            source_file = inspect.getsourcefile(module)
+            if source_file:
+                with open(source_file, "rb") as handle:
+                    digest.update(handle.read())
+        except (OSError, TypeError):
+            digest.update(b"<no source>")
+    result = digest.hexdigest()
+    _SOURCE_CACHE[cls] = result
+    return result
+
+
+def config_of(predictor: BranchPredictor) -> dict | None:
+    """The predictor's ``*Config`` dataclass as a plain dict, if any."""
+    config = getattr(predictor, "config", None)
+    if config is not None and dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    return None
+
+
+def predictor_fingerprint(predictor: BranchPredictor) -> str:
+    """Fingerprint one constructed predictor instance."""
+    cls = type(predictor)
+    parts = {
+        "class": f"{cls.__module__}.{cls.__qualname__}",
+        "name": predictor.name,
+        "storage_bits": predictor.storage_bits(),
+        "config": config_of(predictor),
+        "source": source_fingerprint(cls),
+    }
+    return hashlib.sha256(_canonical(parts).encode()).hexdigest()
+
+
+def trace_content_fingerprint(trace: Trace) -> str:
+    """Digest over a trace's full content (pcs, outcomes, metadata)."""
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode())
+    digest.update(str(trace.instruction_count).encode())
+    digest.update(array("Q", trace.pcs).tobytes())
+    digest.update(bytes(bytearray(trace.outcomes)))
+    return digest.hexdigest()
+
+
+def task_fingerprint(
+    predictor_fp: str, trace_identity: str, track_providers: bool
+) -> str:
+    """Combine the predictor, trace and measurement mode into one key."""
+    parts = f"{predictor_fp}|{trace_identity}|providers={int(track_providers)}"
+    return hashlib.sha256(parts.encode()).hexdigest()

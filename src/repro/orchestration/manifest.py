@@ -1,0 +1,150 @@
+"""Campaign manifest: the checkpoint an interrupted sweep resumes from.
+
+The manifest is a small JSON file recording, per task fingerprint, the
+task's display identity and its status (``pending`` / ``done`` /
+``failed``), the attempt count, and the last error for failures.  The
+campaign identity is a digest over the sorted task fingerprints, so a
+manifest written by a *different* grid (edited config, different traces)
+is discarded rather than mis-resumed — while a re-run of the same grid
+skips every ``done`` task by serving it from the result store.
+
+Writes are atomic (tmp + rename) and happen after every task completion,
+so a ``kill -9`` mid-sweep loses at most the in-flight tasks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.orchestration.tasks import Task
+
+STATUS_PENDING = "pending"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+MANIFEST_VERSION = 1
+
+
+def campaign_id_of(tasks: list[Task]) -> str:
+    """Stable identity of a task grid: digest of sorted fingerprints."""
+    digest = hashlib.sha256()
+    for fingerprint in sorted(task.fingerprint for task in tasks):
+        digest.update(fingerprint.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class TaskRecord:
+    config: str
+    trace: str
+    status: str = STATUS_PENDING
+    attempts: int = 0
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "config": self.config,
+            "trace": self.trace,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class CampaignManifest:
+    """Mutable checkpoint state for one campaign run."""
+
+    path: Path
+    campaign_id: str = ""
+    records: dict[str, TaskRecord] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "CampaignManifest | None":
+        """Read a manifest; ``None`` for missing or unreadable files."""
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            records = {
+                fingerprint: TaskRecord(
+                    config=item["config"],
+                    trace=item["trace"],
+                    status=item.get("status", STATUS_PENDING),
+                    attempts=item.get("attempts", 0),
+                    error=item.get("error"),
+                )
+                for fingerprint, item in data["tasks"].items()
+            }
+            return cls(
+                path=path, campaign_id=data["campaign_id"], records=records
+            )
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None
+
+    @classmethod
+    def begin(cls, path: Path, tasks: list[Task]) -> "CampaignManifest":
+        """Open (resuming) or create the manifest for this task grid.
+
+        A manifest on disk for a different campaign id is replaced; one
+        for the same id keeps its ``done``/``failed`` records so the
+        engine can report what the resume skipped.
+        """
+        campaign_id = campaign_id_of(tasks)
+        existing = cls.load(path)
+        if existing is not None and existing.campaign_id == campaign_id:
+            manifest = existing
+        else:
+            manifest = cls(path=Path(path), campaign_id=campaign_id)
+        for task in tasks:
+            if task.fingerprint not in manifest.records:
+                manifest.records[task.fingerprint] = TaskRecord(
+                    config=task.config_name, trace=task.trace.name
+                )
+        manifest.save()
+        return manifest
+
+    def status_of(self, fingerprint: str) -> str:
+        record = self.records.get(fingerprint)
+        return record.status if record is not None else STATUS_PENDING
+
+    def mark_done(self, task: Task, attempts: int) -> None:
+        record = self.records[task.fingerprint]
+        record.status = STATUS_DONE
+        record.attempts = attempts
+        record.error = None
+        self.save()
+
+    def mark_failed(self, task: Task, attempts: int, error: str) -> None:
+        record = self.records[task.fingerprint]
+        record.status = STATUS_FAILED
+        record.attempts = attempts
+        record.error = error
+        self.save()
+
+    def counts(self) -> dict[str, int]:
+        counts = {STATUS_PENDING: 0, STATUS_DONE: 0, STATUS_FAILED: 0}
+        for record in self.records.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def save(self) -> None:
+        payload = {
+            "version": MANIFEST_VERSION,
+            "campaign_id": self.campaign_id,
+            "tasks": {
+                fingerprint: record.to_dict()
+                for fingerprint, record in sorted(self.records.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self.path)

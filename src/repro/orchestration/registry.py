@@ -1,0 +1,111 @@
+"""Named predictor factories and trace specs for CLI-driven campaigns.
+
+Every factory here is a module-level function or a ``functools.partial``
+over one, so it pickles by reference and can be dispatched to scheduler
+worker processes — the reason ``repro simulate --jobs N`` and ``repro
+campaign`` can parallelize while lambda-based registries cannot.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from pathlib import Path
+
+from repro.orchestration.tasks import PredictorFactory, TraceSpec
+
+
+def _tage(num_tables: int):
+    from repro.predictors import Tage, TageConfig
+
+    return Tage(TageConfig.for_tables(num_tables))
+
+
+def _isl_tage(num_tables: int):
+    from repro.predictors import ISLTage, TageConfig
+
+    return ISLTage(TageConfig.for_tables(num_tables))
+
+
+def _bf_tage(num_tables: int):
+    from repro.core import BFTage, BFTageConfig
+
+    return BFTage(BFTageConfig.for_tables(num_tables))
+
+
+def _perceptron(rows: int, history_length: int):
+    from repro.predictors import GlobalPerceptron
+
+    return GlobalPerceptron(rows=rows, history_length=history_length)
+
+
+def _bimodal():
+    from repro.predictors import Bimodal
+
+    return Bimodal()
+
+
+def _gshare():
+    from repro.predictors import GShare
+
+    return GShare()
+
+
+def _filter():
+    from repro.predictors.filter import FilterPredictor
+
+    return FilterPredictor()
+
+
+def _oh_snap():
+    from repro.predictors import ScaledNeural
+
+    return ScaledNeural()
+
+
+def _bf_neural_64kb():
+    from repro.core import bf_neural_64kb
+
+    return bf_neural_64kb()
+
+
+def _bf_neural_32kb():
+    from repro.core import bf_neural_32kb
+
+    return bf_neural_32kb()
+
+
+def _bf_neural_ahead():
+    from repro.core.ahead import AheadPipelinedBFNeural
+
+    return AheadPipelinedBFNeural()
+
+
+def standard_registry() -> dict[str, PredictorFactory]:
+    """The named configurations ``simulate``/``campaign`` accept."""
+    return {
+        "bimodal": _bimodal,
+        "gshare": _gshare,
+        "filter": _filter,
+        "perceptron": partial(_perceptron, 1024, 64),
+        "oh-snap": _oh_snap,
+        "tage10": partial(_tage, 10),
+        "tage15": partial(_tage, 15),
+        "isl-tage10": partial(_isl_tage, 10),
+        "isl-tage15": partial(_isl_tage, 15),
+        "bf-tage10": partial(_bf_tage, 10),
+        "bf-neural": _bf_neural_64kb,
+        "bf-neural-32k": _bf_neural_32kb,
+        "bf-neural-ahead": _bf_neural_ahead,
+    }
+
+
+def trace_spec_for(spec: str, branches: int | None = None) -> TraceSpec:
+    """Map a CLI trace argument (suite name or .bfbp path) to a spec."""
+    from repro.workloads import SUITE_NAMES
+
+    if spec in SUITE_NAMES:
+        return TraceSpec.suite(spec, branches)
+    path = Path(spec)
+    if path.exists():
+        return TraceSpec.from_file(path, branches)
+    raise ValueError(f"unknown trace {spec!r}: not a suite name or a file")

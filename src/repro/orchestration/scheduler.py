@@ -1,0 +1,356 @@
+"""Task execution: serial loop or a fault-tolerant process pool.
+
+The parallel scheduler manages its own worker processes over duplex
+pipes instead of ``multiprocessing.Pool`` because fault tolerance needs
+to know *which* worker holds *which* task: a task that exceeds its
+timeout gets its worker terminated and respawned, a worker that crashes
+(OOM-killed, segfault in an extension, ``os._exit``) is detected by the
+broken pipe, and in both cases the task is retried up to
+``max_retries`` times before being recorded as failed.  Results are
+returned in task-index order regardless of completion order, so
+``jobs=N`` is bit-identical to the serial path.
+
+Workers receive :class:`TraceSpec` recipes, not traces: suite traces are
+rebuilt in-worker (deterministic by construction) and memoized per
+worker, so an F-factory × T-trace grid ships F×T small payloads rather
+than F copies of every trace.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import Connection, wait
+from typing import Callable
+
+from repro.orchestration.tasks import Task, TaskOutcome
+from repro.orchestration.telemetry import Telemetry, monotonic
+from repro.orchestration import store as result_store
+from repro.sim.simulator import simulate
+
+OutcomeCallback = Callable[[TaskOutcome], None]
+
+#: Start method: fork shares the already-imported interpreter state and
+#: is available everywhere this repo targets; spawn is the fallback.
+def _pool_context():
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return get_context()
+
+
+def _run_one(task: Task, trace_cache: dict) -> tuple[dict, float]:
+    """Resolve, simulate, encode — shared by serial path and workers."""
+    key = task.trace.cache_key()
+    trace = trace_cache.get(key)
+    if trace is None:
+        trace = task.trace.resolve()
+        trace_cache[key] = trace
+    predictor = task.factory()
+    started = monotonic()
+    result = simulate(predictor, trace, track_providers=task.track_providers)
+    return result_store.encode_result(result), monotonic() - started
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive tasks, simulate, reply; exit on "stop"."""
+    trace_cache: dict = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if message[0] == "stop":
+            return
+        task: Task = message[1]
+        try:
+            payload, elapsed = _run_one(task, trace_cache)
+            conn.send(("done", task.index, payload, elapsed))
+        except KeyboardInterrupt:  # pragma: no cover - interactive abort
+            return
+        except BaseException:
+            conn.send(("error", task.index, traceback.format_exc(limit=8)))
+
+
+@dataclass
+class _Worker:
+    """One live worker process and the task it currently holds."""
+
+    process: object
+    conn: Connection
+    wid: int
+    current: Task | None = None
+    deadline: float | None = None
+
+
+def _spawn_worker(ctx, wid: int) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+    process.start()
+    child_conn.close()
+    return _Worker(process=process, conn=parent_conn, wid=wid)
+
+
+def _shutdown(workers: list[_Worker]) -> None:
+    for worker in workers:
+        try:
+            worker.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for worker in workers:
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+        worker.conn.close()
+
+
+def execute_tasks(
+    tasks: list[Task],
+    jobs: int,
+    telemetry: Telemetry,
+    task_timeout: float | None = None,
+    max_retries: int = 1,
+    on_outcome: OutcomeCallback | None = None,
+) -> list[TaskOutcome]:
+    """Run every task; outcomes come back ordered by task index.
+
+    ``on_outcome`` fires as each task settles (success or final
+    failure) so the engine can checkpoint the manifest incrementally.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return _execute_serial(tasks, telemetry, max_retries, on_outcome)
+    return _execute_parallel(
+        tasks, jobs, telemetry, task_timeout, max_retries, on_outcome
+    )
+
+
+def _settle(
+    outcome: TaskOutcome,
+    outcomes: dict[int, TaskOutcome],
+    on_outcome: OutcomeCallback | None,
+) -> None:
+    outcomes[outcome.task.index] = outcome
+    if on_outcome is not None:
+        on_outcome(outcome)
+
+
+def _execute_serial(
+    tasks: list[Task],
+    telemetry: Telemetry,
+    max_retries: int,
+    on_outcome: OutcomeCallback | None,
+) -> list[TaskOutcome]:
+    outcomes: dict[int, TaskOutcome] = {}
+    trace_cache: dict = {}
+    for task in tasks:
+        attempts = 0
+        while True:
+            attempts += 1
+            telemetry.emit(
+                "task_start",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                attempt=attempts,
+            )
+            try:
+                payload, elapsed = _run_one(task, trace_cache)
+            except Exception:
+                error = traceback.format_exc(limit=8)
+                final = attempts > max_retries
+                telemetry.emit(
+                    "task_failed",
+                    index=task.index,
+                    config=task.config_name,
+                    trace=task.trace.name,
+                    attempt=attempts,
+                    error=error.strip().splitlines()[-1],
+                    final=final,
+                )
+                if final:
+                    _settle(
+                        TaskOutcome(task=task, error=error, attempts=attempts),
+                        outcomes,
+                        on_outcome,
+                    )
+                    break
+                telemetry.emit("task_retry", index=task.index, attempt=attempts + 1)
+                continue
+            result = result_store.decode_result(payload)
+            telemetry.emit(
+                "task_finish",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                elapsed_s=round(elapsed, 6),
+                mpki=result.mpki,
+            )
+            _settle(
+                TaskOutcome(
+                    task=task, result=result, attempts=attempts, elapsed_s=elapsed
+                ),
+                outcomes,
+                on_outcome,
+            )
+            break
+    return [outcomes[task.index] for task in tasks]
+
+
+def _execute_parallel(
+    tasks: list[Task],
+    jobs: int,
+    telemetry: Telemetry,
+    task_timeout: float | None,
+    max_retries: int,
+    on_outcome: OutcomeCallback | None,
+) -> list[TaskOutcome]:
+    ctx = _pool_context()
+    pending = list(tasks)
+    attempts: dict[int, int] = {task.index: 0 for task in tasks}
+    by_index = {task.index: task for task in tasks}
+    outcomes: dict[int, TaskOutcome] = {}
+    workers = [_spawn_worker(ctx, wid) for wid in range(min(jobs, len(tasks)))]
+
+    def assign(worker: _Worker) -> None:
+        if not pending:
+            return
+        task = pending.pop(0)
+        try:
+            worker.conn.send(("task", task))
+        except (BrokenPipeError, OSError):
+            # Worker died while idle: respawn and retry the dispatch
+            # without charging the task an attempt.
+            pending.insert(0, task)
+            replace(worker, reason="crash")
+            return
+        attempts[task.index] += 1
+        worker.current = task
+        worker.deadline = (
+            monotonic() + task_timeout if task_timeout else None
+        )
+        telemetry.emit(
+            "task_start",
+            index=task.index,
+            config=task.config_name,
+            trace=task.trace.name,
+            attempt=attempts[task.index],
+            worker=worker.wid,
+        )
+
+    def task_errored(task: Task, error: str, *, retry_front: bool = False) -> None:
+        """Record one failed attempt; re-enqueue or settle."""
+        final = attempts[task.index] > max_retries
+        telemetry.emit(
+            "task_failed",
+            index=task.index,
+            config=task.config_name,
+            trace=task.trace.name,
+            attempt=attempts[task.index],
+            error=error.strip().splitlines()[-1] if error.strip() else error,
+            final=final,
+        )
+        if final:
+            _settle(
+                TaskOutcome(task=task, error=error, attempts=attempts[task.index]),
+                outcomes,
+                on_outcome,
+            )
+            return
+        telemetry.emit(
+            "task_retry", index=task.index, attempt=attempts[task.index] + 1
+        )
+        if retry_front:
+            pending.insert(0, task)
+        else:
+            pending.append(task)
+
+    def replace(worker: _Worker, reason: str) -> _Worker:
+        """Kill a wedged/dead worker and spawn its successor."""
+        telemetry.emit(
+            "worker_restart",
+            worker=worker.wid,
+            reason=reason,
+            index=worker.current.index if worker.current else None,
+        )
+        worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        worker.conn.close()
+        fresh = _spawn_worker(ctx, worker.wid)
+        workers[workers.index(worker)] = fresh
+        return fresh
+
+    try:
+        while len(outcomes) < len(tasks):
+            for worker in workers:
+                if worker.current is None:
+                    assign(worker)
+            busy = [worker for worker in workers if worker.current is not None]
+            if not busy:
+                break  # every remaining task already settled as failed
+            wait_timeout = None
+            now = monotonic()
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - now)
+            ready = wait([worker.conn for worker in busy], timeout=wait_timeout)
+            for worker in busy:
+                if worker.conn not in ready:
+                    continue
+                task = worker.current
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task: broken pipe on our end.
+                    worker.current = None
+                    replace(worker, reason="crash")
+                    if task is not None:
+                        task_errored(task, "worker process died", retry_front=True)
+                    continue
+                worker.current = None
+                worker.deadline = None
+                if message[0] == "done":
+                    _, index, payload, elapsed = message
+                    settled_task = by_index[index]
+                    result = result_store.decode_result(payload)
+                    telemetry.emit(
+                        "task_finish",
+                        index=index,
+                        config=settled_task.config_name,
+                        trace=settled_task.trace.name,
+                        elapsed_s=round(elapsed, 6),
+                        mpki=result.mpki,
+                    )
+                    _settle(
+                        TaskOutcome(
+                            task=settled_task,
+                            result=result,
+                            attempts=attempts[index],
+                            elapsed_s=elapsed,
+                        ),
+                        outcomes,
+                        on_outcome,
+                    )
+                else:
+                    _, index, error = message
+                    task_errored(by_index[index], error)
+            # Timed-out workers: anyone past deadline and still busy.
+            now = monotonic()
+            for worker in list(workers):
+                if (
+                    worker.current is not None
+                    and worker.deadline is not None
+                    and now >= worker.deadline
+                ):
+                    task = worker.current
+                    worker.current = None
+                    worker.deadline = None
+                    replace(worker, reason="timeout")
+                    task_errored(
+                        task,
+                        f"task exceeded timeout of {task_timeout}s",
+                    )
+    finally:
+        _shutdown(workers)
+    return [outcomes[task.index] for task in tasks]

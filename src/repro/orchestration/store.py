@@ -1,0 +1,101 @@
+"""Content-addressed simulation result store.
+
+Results live flat under the store root as ``<fingerprint>.json``; the
+fingerprint (see :mod:`repro.orchestration.fingerprint`) covers the
+predictor config and code, the trace identity and the measurement mode,
+so a stale entry can only be served if nothing that produced it changed.
+
+Corrupt or schema-mismatched entries are *surfaced*, not swallowed: the
+store emits a ``cache_corrupt`` telemetry event and deletes the bad
+file so the task transparently re-runs (the legacy runner silently
+returned ``None`` and left the corpse on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.orchestration.telemetry import Telemetry
+from repro.sim.metrics import SimulationResult
+
+_REQUIRED_KEYS = (
+    "trace_name",
+    "predictor_name",
+    "branches",
+    "instructions",
+    "mispredictions",
+)
+
+
+def encode_result(result: SimulationResult) -> dict:
+    """``SimulationResult`` → plain JSON-safe dict."""
+    return {
+        "trace_name": result.trace_name,
+        "predictor_name": result.predictor_name,
+        "branches": result.branches,
+        "instructions": result.instructions,
+        "mispredictions": result.mispredictions,
+        "provider_hits": result.provider_hits,
+    }
+
+
+def decode_result(data: dict) -> SimulationResult:
+    """Inverse of :func:`encode_result`; raises on malformed payloads."""
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"result payload missing {missing}")
+    for key in ("branches", "instructions", "mispredictions"):
+        value = data[key]
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"result field {key}={value!r} is not a count")
+    return SimulationResult(
+        trace_name=data["trace_name"],
+        predictor_name=data["predictor_name"],
+        branches=data["branches"],
+        instructions=data["instructions"],
+        mispredictions=data["mispredictions"],
+        provider_hits=data.get("provider_hits", {}),
+    )
+
+
+class ResultStore:
+    """On-disk result cache keyed by task fingerprint."""
+
+    def __init__(self, root: Path, telemetry: Telemetry | None = None) -> None:
+        self.root = Path(root)
+        self.telemetry = telemetry
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def load(
+        self, fingerprint: str, require_providers: bool = False
+    ) -> SimulationResult | None:
+        """Fetch a cached result, purging corrupt/mismatched entries."""
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            result = decode_result(json.loads(path.read_text()))
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "cache_corrupt", path=str(path), reason=str(exc)
+                )
+            path.unlink(missing_ok=True)
+            return None
+        if require_providers and not result.provider_hits:
+            # Entry predates provider tracking for this fingerprint
+            # scheme version; treat as a miss.
+            return None
+        return result
+
+    def store(self, fingerprint: str, result: SimulationResult) -> None:
+        """Atomically persist one result."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(encode_result(result)))
+        os.replace(tmp, path)

@@ -1,0 +1,115 @@
+"""Task and trace descriptions the scheduler fans out to workers.
+
+A :class:`TraceSpec` is a *recipe* for a trace rather than the trace
+itself, so a worker process can rebuild suite traces locally (cheap,
+deterministic) instead of receiving megabytes over the pipe; traces that
+only exist in memory ride along inline.  A :class:`Task` is one cell of
+the (predictor factory × trace) grid with its content-addressed
+fingerprint precomputed by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.orchestration.fingerprint import trace_content_fingerprint
+from repro.predictors.base import BranchPredictor
+from repro.sim.metrics import SimulationResult
+from repro.trace.records import Trace
+
+PredictorFactory = Callable[[], BranchPredictor]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """How to obtain one trace: by suite name, from a file, or inline."""
+
+    kind: str  # "suite" | "file" | "inline"
+    name: str
+    branches: int | None = None
+    path: str | None = None
+    payload: Trace | None = field(default=None, compare=False)
+
+    @classmethod
+    def suite(cls, name: str, branches: int | None = None) -> "TraceSpec":
+        return cls(kind="suite", name=name, branches=branches)
+
+    @classmethod
+    def from_file(cls, path: str | Path, branches: int | None = None) -> "TraceSpec":
+        return cls(kind="file", name=Path(path).stem, branches=branches, path=str(path))
+
+    @classmethod
+    def inline(cls, trace: Trace) -> "TraceSpec":
+        return cls(kind="inline", name=trace.name, branches=len(trace), payload=trace)
+
+    @classmethod
+    def of(cls, trace: "Trace | TraceSpec") -> "TraceSpec":
+        return trace if isinstance(trace, TraceSpec) else cls.inline(trace)
+
+    def resolve(self) -> Trace:
+        """Materialize the trace (called worker-side for suite/file)."""
+        if self.kind == "inline":
+            assert self.payload is not None
+            return self.payload
+        if self.kind == "suite":
+            from repro.workloads import build_trace
+
+            return build_trace(self.name, self.branches)
+        if self.kind == "file":
+            from repro.trace.io import read_trace
+
+            trace = read_trace(self.path)
+            return trace.truncated(self.branches) if self.branches else trace
+        raise ValueError(f"unknown trace spec kind {self.kind!r}")
+
+    def identity(self) -> str:
+        """Stable identity string feeding the task fingerprint.
+
+        Suite traces are pure functions of (name, branch budget); files
+        and inline traces are identified by content digest so regenerated
+        or edited traces cannot alias a stale cache entry.
+        """
+        if self.kind == "suite":
+            return f"suite:{self.name}:{self.branches}"
+        if self.kind == "file":
+            import hashlib
+
+            digest = hashlib.sha256(Path(self.path).read_bytes()).hexdigest()
+            return f"file:{digest}:{self.branches}"
+        return f"inline:{trace_content_fingerprint(self.payload)}"
+
+    def cache_key(self) -> tuple:
+        """Key for worker-local trace memoization (inline never shared)."""
+        if self.kind == "inline":
+            return ("inline", id(self.payload))
+        return (self.kind, self.name, self.branches, self.path)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One (predictor, trace) cell of the campaign grid."""
+
+    index: int
+    config_name: str
+    factory: PredictorFactory = field(compare=False)
+    trace: TraceSpec = field(compare=False)
+    track_providers: bool = False
+    fingerprint: str = ""
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: a result, or a final error."""
+
+    task: Task
+    result: SimulationResult | None = None
+    error: str | None = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None

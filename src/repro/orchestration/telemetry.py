@@ -1,0 +1,158 @@
+"""Structured campaign telemetry: JSON-lines events plus live counters.
+
+Every observable step of a campaign — task start/finish, cache hit/miss,
+worker restart, retry, progress — is emitted as one JSON object per line
+so a sweep can be tailed, replayed, or post-processed without parsing
+log prose.  The event vocabulary is closed: :data:`EVENT_FIELDS` names
+the required payload fields per event kind, ``validate_event`` enforces
+them, and ``read_events`` round-trips a file back into validated dicts
+(the schema is documented in ``docs/orchestration.md``).
+
+This module is the only place in the orchestration package that touches
+the wall clock; the scheduler and engine import :func:`monotonic` /
+:func:`wall_clock` from here so the REPRO004 determinism exemption stays
+confined to one module.  No simulation result ever depends on these
+timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+#: Bumped when an event kind gains/loses required fields.
+SCHEMA_VERSION = 1
+
+#: Required payload fields per event kind (beyond ``v``/``ts``/``event``).
+#: Extra fields are allowed; missing required fields are an error.
+EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    "campaign_start": ("campaign_id", "total_tasks", "jobs"),
+    "manifest_resume": ("done", "failed", "pending"),
+    "task_start": ("index", "config", "trace", "attempt"),
+    "task_finish": ("index", "config", "trace", "elapsed_s", "mpki"),
+    "task_failed": ("index", "config", "trace", "attempt", "error"),
+    "task_retry": ("index", "attempt"),
+    "cache_hit": ("index", "config", "trace", "fingerprint"),
+    "cache_miss": ("index", "config", "trace", "fingerprint"),
+    "cache_corrupt": ("path", "reason"),
+    "worker_restart": ("worker", "reason"),
+    "serial_fallback": ("reason",),
+    "progress": ("done", "total", "tasks_per_s", "eta_s"),
+    "campaign_finish": ("done", "failed", "cache_hits", "elapsed_s"),
+}
+
+
+def monotonic() -> float:
+    """Monotonic clock for elapsed-time measurement (never in results)."""
+    return time.monotonic()
+
+
+def wall_clock() -> float:
+    """Wall-clock timestamp stamped onto emitted events."""
+    return time.time()
+
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` if ``event`` does not match the schema."""
+    kind = event.get("event")
+    if kind not in EVENT_FIELDS:
+        raise ValueError(f"unknown telemetry event kind {kind!r}")
+    if not isinstance(event.get("ts"), (int, float)):
+        raise ValueError(f"event {kind!r} missing numeric 'ts'")
+    missing = [name for name in EVENT_FIELDS[kind] if name not in event]
+    if missing:
+        raise ValueError(f"event {kind!r} missing required fields {missing}")
+
+
+def make_event(kind: str, **fields: object) -> dict:
+    """Build and validate one event dict."""
+    event: dict = {"v": SCHEMA_VERSION, "ts": wall_clock(), "event": kind}
+    event.update(fields)
+    validate_event(event)
+    return event
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines telemetry file back into validated events."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        validate_event(event)
+        events.append(event)
+    return events
+
+
+class Telemetry:
+    """Event sink: optional JSONL file, optional subscribers, counters.
+
+    Subscribers are called synchronously with each validated event dict;
+    the engine uses one to print the live progress summary.  Counters
+    (``done``, ``failed``, ``cache_hits``) feed tasks/sec and ETA
+    estimates without re-reading the event log.
+    """
+
+    def __init__(
+        self,
+        jsonl_path: str | Path | None = None,
+        subscribers: tuple[Callable[[dict], None], ...] = (),
+    ) -> None:
+        self._file = None
+        if jsonl_path is not None:
+            path = Path(jsonl_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = path.open("a", encoding="utf-8")
+        self._subscribers = list(subscribers)
+        self.done = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.simulated = 0
+        self._started = monotonic()
+
+    def subscribe(self, callback: Callable[[dict], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, **fields: object) -> dict:
+        event = make_event(kind, **fields)
+        if kind == "campaign_start":
+            self._started = monotonic()
+        elif kind == "task_finish":
+            self.done += 1
+            self.simulated += 1
+        elif kind == "cache_hit":
+            self.done += 1
+            self.cache_hits += 1
+        elif kind == "task_failed" and fields.get("final"):
+            self.failed += 1
+        if self._file is not None:
+            self._file.write(json.dumps(event) + "\n")
+            self._file.flush()
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def elapsed_s(self) -> float:
+        return monotonic() - self._started
+
+    def tasks_per_s(self) -> float:
+        elapsed = self.elapsed_s()
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def eta_s(self, total: int) -> float:
+        rate = self.tasks_per_s()
+        remaining = max(0, total - self.done - self.failed)
+        return remaining / rate if rate > 0 else float("inf")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -3,8 +3,9 @@
 ``simulate`` drives one predictor over one trace in commit order and
 returns a :class:`SimulationResult` (MPKI, misprediction rate, provider
 hit attribution).  ``runner`` evaluates predictor factories over whole
-suites with simple on-disk caching, which keeps the per-figure
-experiment scripts fast to iterate on.
+suites by delegating to :mod:`repro.orchestration` — parallel workers,
+content-addressed result caching and checkpoint/resume — which keeps
+the per-figure experiment scripts fast to iterate on.
 """
 
 from repro.sim.attribution import AttributionResult, attribute, format_attribution

@@ -1,16 +1,19 @@
 """Campaign runner: evaluate predictor configurations over trace suites.
 
 A :class:`Campaign` pairs named predictor *factories* (fresh predictor
-per trace — state never leaks across traces) with a list of traces, and
-caches per-(predictor, trace, branch-count) results as JSON under
-``.bfbp-cache/`` so re-running an experiment after editing only the
-reporting code is instant.
+per trace — state never leaks across traces) with a list of traces.
+Execution is delegated to :mod:`repro.orchestration`: results are cached
+content-addressed (predictor config + code + trace identity) under
+``cache_dir``, and ``jobs > 1`` fans the grid out over worker processes
+with results bit-identical to the serial path.
+
+This module is the compatibility surface for pre-orchestration callers;
+new code should build a :class:`repro.orchestration.CampaignPlan`
+directly for manifests, timeouts and telemetry sinks.
 """
 
 from __future__ import annotations
 
-import json
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
@@ -32,44 +35,7 @@ class Campaign:
     track_providers: bool = False
     cache_dir: Path | None = None
     verbose: bool = False
-
-
-def _cache_path(cache_dir: Path, config_name: str, trace: Trace) -> Path:
-    safe = config_name.replace("/", "_").replace(" ", "_")
-    return cache_dir / f"{safe}__{trace.name}__{len(trace)}.json"
-
-
-def _load_cached(path: Path) -> SimulationResult | None:
-    if not path.exists():
-        return None
-    try:
-        data = json.loads(path.read_text())
-        return SimulationResult(
-            trace_name=data["trace_name"],
-            predictor_name=data["predictor_name"],
-            branches=data["branches"],
-            instructions=data["instructions"],
-            mispredictions=data["mispredictions"],
-            provider_hits=data.get("provider_hits", {}),
-        )
-    except (json.JSONDecodeError, KeyError):
-        return None
-
-
-def _store_cached(path: Path, result: SimulationResult) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(
-            {
-                "trace_name": result.trace_name,
-                "predictor_name": result.predictor_name,
-                "branches": result.branches,
-                "instructions": result.instructions,
-                "mispredictions": result.mispredictions,
-                "provider_hits": result.provider_hits,
-            }
-        )
-    )
+    jobs: int = 1
 
 
 def run_campaign(campaign: Campaign) -> dict[str, list[SimulationResult]]:
@@ -77,38 +43,17 @@ def run_campaign(campaign: Campaign) -> dict[str, list[SimulationResult]]:
 
     Returns ``{config_name: [result per trace, in trace order]}``.
     """
-    results: dict[str, list[SimulationResult]] = {}
-    for config_name, factory in campaign.factories.items():
-        per_trace: list[SimulationResult] = []
-        for trace in campaign.traces:
-            cached = None
-            cache_path = None
-            if campaign.cache_dir is not None:
-                cache_path = _cache_path(campaign.cache_dir, config_name, trace)
-                cached = _load_cached(cache_path)
-                if cached is not None and campaign.track_providers and not cached.provider_hits:
-                    cached = None  # cache entry predates provider tracking
-            if cached is not None:
-                per_trace.append(cached)
-                continue
-            started = time.perf_counter()
-            predictor = factory()
-            result = simulate(
-                predictor, trace, track_providers=campaign.track_providers
-            )
-            if campaign.verbose:
-                elapsed = time.perf_counter() - started
-                rate = len(trace) / elapsed if elapsed > 0 else float("inf")
-                print(
-                    f"  {config_name:28s} {trace.name:8s} "
-                    f"mpki={result.mpki:6.3f} ({rate / 1000:.0f}k br/s)",
-                    flush=True,
-                )
-            if cache_path is not None:
-                _store_cached(cache_path, result)
-            per_trace.append(result)
-        results[config_name] = per_trace
-    return results
+    from repro.orchestration import CampaignPlan, run_plan
+
+    plan = CampaignPlan(
+        factories=campaign.factories,
+        traces=list(campaign.traces),
+        track_providers=campaign.track_providers,
+        store_dir=campaign.cache_dir,
+        jobs=campaign.jobs,
+        verbose=campaign.verbose,
+    )
+    return run_plan(plan)
 
 
 def evaluate_one(

@@ -1,0 +1,434 @@
+"""Tests for the campaign orchestration engine.
+
+Covers the acceptance points of the orchestration subsystem: parallel
+execution is bit-identical to serial, an interrupted/partially-failed
+manifest resumes without recomputing done tasks, fingerprints invalidate
+when a config field changes, corrupt cache entries are surfaced and
+purged, timeouts restart wedged workers, and the telemetry event schema
+round-trips through its JSONL encoding.
+
+Predictor helpers live at module level so they pickle by reference into
+scheduler worker processes.
+"""
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.orchestration import (
+    CampaignError,
+    CampaignManifest,
+    CampaignPlan,
+    ResultStore,
+    Telemetry,
+    TraceSpec,
+    make_event,
+    predictor_fingerprint,
+    read_events,
+    run_plan,
+    standard_registry,
+    task_fingerprint,
+    trace_content_fingerprint,
+    validate_event,
+)
+from repro.orchestration.manifest import STATUS_DONE, STATUS_FAILED
+from repro.predictors import AlwaysTaken, Bimodal, GShare
+from repro.sim.metrics import SimulationResult
+from repro.trace.records import Trace, TraceMetadata
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel scheduler tests rely on the fork start method",
+)
+
+
+def trace_of(events, name="t"):
+    meta = TraceMetadata(
+        name=name, category="SPEC", instruction_count=max(1, len(events) * 5)
+    )
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+@dataclass(frozen=True)
+class ToyConfig:
+    """Minimal *Config stand-in for fingerprint invalidation tests."""
+
+    depth: int = 4
+    threshold: int = 9
+
+
+class ToyPredictor(AlwaysTaken):
+    name = "toy"
+
+    def __init__(self, config: ToyConfig = ToyConfig()) -> None:
+        self.config = config
+
+
+def make_toy(depth: int) -> ToyPredictor:
+    return ToyPredictor(ToyConfig(depth=depth))
+
+
+class FlakyPredictor(Bimodal):
+    """Behaves like bimodal, but explodes while a marker file exists."""
+
+    name = "flaky"
+
+    def __init__(self, marker: str) -> None:
+        super().__init__()
+        self.marker = marker
+
+    def predict(self, pc: int) -> bool:
+        if Path(self.marker).exists():
+            raise RuntimeError("injected task failure")
+        return super().predict(pc)
+
+
+def make_flaky(marker: str) -> FlakyPredictor:
+    return FlakyPredictor(marker)
+
+
+class HangingPredictor(AlwaysTaken):
+    name = "hang"
+
+    def predict(self, pc: int) -> bool:
+        while True:
+            pass
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert predictor_fingerprint(make_toy(4)) == predictor_fingerprint(make_toy(4))
+
+    def test_config_field_change_invalidates(self):
+        assert predictor_fingerprint(make_toy(4)) != predictor_fingerprint(make_toy(5))
+
+    def test_distinct_predictors_distinct(self):
+        assert predictor_fingerprint(Bimodal()) != predictor_fingerprint(GShare())
+
+    def test_trace_content_sensitive(self):
+        a = trace_of([(4, True), (8, False)])
+        b = trace_of([(4, True), (8, True)])
+        assert trace_content_fingerprint(a) != trace_content_fingerprint(b)
+
+    def test_suite_spec_identity_includes_budget(self):
+        assert (
+            TraceSpec.suite("FP1", 500).identity()
+            != TraceSpec.suite("FP1", 600).identity()
+        )
+
+    def test_track_providers_changes_key(self):
+        fp = predictor_fingerprint(Bimodal())
+        identity = TraceSpec.suite("FP1", 500).identity()
+        assert task_fingerprint(fp, identity, False) != task_fingerprint(
+            fp, identity, True
+        )
+
+
+class TestResultStore:
+    def result(self):
+        return SimulationResult(
+            trace_name="t", predictor_name="p", branches=10,
+            instructions=100, mispredictions=3,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("abc", self.result())
+        assert store.load("abc") == self.result()
+
+    def test_corrupt_entry_emits_event_and_purges(self, tmp_path):
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        store = ResultStore(tmp_path, telemetry)
+        store.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("bad").write_text("{not json")
+        assert store.load("bad") is None
+        assert not store.path_for("bad").exists()
+        assert [e["event"] for e in events] == ["cache_corrupt"]
+
+    def test_mismatched_schema_is_corrupt(self, tmp_path):
+        events = []
+        store = ResultStore(tmp_path, Telemetry(subscribers=(events.append,)))
+        store.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("bad").write_text(json.dumps({"trace_name": "t"}))
+        assert store.load("bad") is None
+        assert events and events[0]["event"] == "cache_corrupt"
+
+    def test_negative_count_is_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("bad").write_text(
+            json.dumps(
+                {
+                    "trace_name": "t", "predictor_name": "p", "branches": -1,
+                    "instructions": 100, "mispredictions": 0,
+                }
+            )
+        )
+        assert store.load("bad") is None
+
+
+class TestTelemetrySchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_event("no_such_event", foo=1)
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError):
+            validate_event({"v": 1, "ts": 0.0, "event": "task_start", "index": 1})
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with Telemetry(jsonl_path=path) as telemetry:
+            telemetry.emit("campaign_start", campaign_id="x", total_tasks=2, jobs=2)
+            telemetry.emit(
+                "task_start", index=0, config="a", trace="FP1", attempt=1
+            )
+            telemetry.emit(
+                "task_finish", index=0, config="a", trace="FP1",
+                elapsed_s=0.5, mpki=1.25,
+            )
+            telemetry.emit(
+                "cache_hit", index=1, config="a", trace="INT1", fingerprint="f"
+            )
+            telemetry.emit(
+                "campaign_finish", done=2, failed=0, cache_hits=1, elapsed_s=0.6
+            )
+        events = read_events(path)
+        assert [e["event"] for e in events] == [
+            "campaign_start", "task_start", "task_finish",
+            "cache_hit", "campaign_finish",
+        ]
+        assert all(isinstance(e["ts"], float) for e in events)
+
+    def test_counters(self):
+        telemetry = Telemetry()
+        telemetry.emit("task_finish", index=0, config="a", trace="t",
+                       elapsed_s=0.1, mpki=1.0)
+        telemetry.emit("cache_hit", index=1, config="a", trace="u", fingerprint="f")
+        assert telemetry.done == 2
+        assert telemetry.cache_hits == 1
+
+
+def small_grid(jobs: int, store_dir=None, **kwargs) -> CampaignPlan:
+    return CampaignPlan(
+        factories={"bimodal": Bimodal, "gshare": GShare},
+        traces=[TraceSpec.suite("FP1", 400), TraceSpec.suite("INT1", 400)],
+        store_dir=store_dir,
+        jobs=jobs,
+        **kwargs,
+    )
+
+
+class TestEngine:
+    @needs_fork
+    def test_parallel_equals_serial(self):
+        serial = run_plan(small_grid(jobs=1))
+        parallel = run_plan(small_grid(jobs=2))
+        assert serial == parallel  # SimulationResult dataclass equality
+
+    def test_result_ordering(self):
+        results = run_plan(small_grid(jobs=1))
+        assert list(results) == ["bimodal", "gshare"]
+        assert [r.trace_name for r in results["bimodal"]] == ["FP1", "INT1"]
+
+    def test_inline_traces_supported(self):
+        traces = [trace_of([(4, True)] * 60, name="A")]
+        results = run_plan(CampaignPlan(factories={"a": AlwaysTaken}, traces=traces))
+        assert results["a"][0].mispredictions == 0
+
+    @needs_fork
+    def test_unpicklable_factory_falls_back_serial(self):
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        plan = CampaignPlan(
+            factories={"lam": lambda: Bimodal()},
+            traces=[TraceSpec.suite("FP1", 300)],
+            jobs=2,
+        )
+        results = run_plan(plan, telemetry)
+        assert "serial_fallback" in {e["event"] for e in events}
+        assert results["lam"][0].branches >= 300
+
+    def test_cache_hit_skips_simulation(self, tmp_path):
+        run_plan(small_grid(jobs=1, store_dir=tmp_path))
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        run_plan(small_grid(jobs=1, store_dir=tmp_path), telemetry)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("cache_hit") == 4
+        assert "task_start" not in kinds
+
+    def test_failure_raises_campaign_error(self, tmp_path):
+        marker = tmp_path / "marker"
+        marker.touch()
+        plan = CampaignPlan(
+            factories={"flaky": partial(make_flaky, str(marker))},
+            traces=[TraceSpec.suite("FP1", 300)],
+            max_retries=0,
+        )
+        with pytest.raises(CampaignError):
+            run_plan(plan)
+
+    def test_retry_then_success(self, tmp_path):
+        """A transient failure consumed by the retry budget still succeeds."""
+        marker = tmp_path / "marker"
+        marker.touch()
+
+        events = []
+
+        def clear_marker_on_failure(event):
+            events.append(event)
+            if event["event"] == "task_failed":
+                marker.unlink(missing_ok=True)
+
+        telemetry = Telemetry(subscribers=(clear_marker_on_failure,))
+        plan = CampaignPlan(
+            factories={"flaky": partial(make_flaky, str(marker))},
+            traces=[TraceSpec.suite("FP1", 300)],
+            max_retries=1,
+        )
+        results = run_plan(plan, telemetry)
+        kinds = [e["event"] for e in events]
+        assert "task_retry" in kinds
+        assert results["flaky"][0].branches >= 300
+
+
+class TestManifestResume:
+    def grid(self, marker: Path, store: Path) -> CampaignPlan:
+        return CampaignPlan(
+            factories={
+                "bimodal": Bimodal,
+                "flaky": partial(make_flaky, str(marker)),
+            },
+            traces=[TraceSpec.suite("FP1", 300), TraceSpec.suite("INT1", 300)],
+            store_dir=store,
+            manifest_path=store / "manifest.json",
+            max_retries=0,
+            allow_failures=True,
+        )
+
+    def test_resume_recomputes_only_failures(self, tmp_path):
+        marker = tmp_path / "marker"
+        store = tmp_path / "store"
+        marker.touch()
+
+        first = run_plan(self.grid(marker, store))
+        assert all(r is not None for r in first["bimodal"])
+        assert all(r is None for r in first["flaky"])
+        manifest = CampaignManifest.load(store / "manifest.json")
+        counts = manifest.counts()
+        assert counts[STATUS_DONE] == 2 and counts[STATUS_FAILED] == 2
+
+        # The injected fault is fixed; resume must serve the two done
+        # tasks from the store and re-run only the two failed ones.
+        marker.unlink()
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        second = run_plan(self.grid(marker, store), telemetry)
+        kinds = [e["event"] for e in events]
+        assert "manifest_resume" in kinds
+        assert kinds.count("cache_hit") == 2
+        started = [e for e in events if e["event"] == "task_start"]
+        assert sorted(e["config"] for e in started) == ["flaky", "flaky"]
+        assert all(r is not None for r in second["flaky"])
+        manifest = CampaignManifest.load(store / "manifest.json")
+        assert manifest.counts()[STATUS_DONE] == 4
+
+    def test_stale_manifest_for_other_grid_discarded(self, tmp_path):
+        store = tmp_path / "store"
+        plan_a = CampaignPlan(
+            factories={"bimodal": Bimodal},
+            traces=[TraceSpec.suite("FP1", 300)],
+            store_dir=store,
+            manifest_path=store / "manifest.json",
+        )
+        run_plan(plan_a)
+        id_a = CampaignManifest.load(store / "manifest.json").campaign_id
+        plan_b = CampaignPlan(
+            factories={"gshare": GShare},
+            traces=[TraceSpec.suite("FP1", 300)],
+            store_dir=store,
+            manifest_path=store / "manifest.json",
+        )
+        run_plan(plan_b)
+        manifest = CampaignManifest.load(store / "manifest.json")
+        assert manifest.campaign_id != id_a
+        assert manifest.counts()[STATUS_DONE] == 1
+
+
+@needs_fork
+class TestFaultTolerance:
+    def test_timeout_restarts_worker(self):
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        plan = CampaignPlan(
+            factories={"hang": HangingPredictor, "bimodal": Bimodal},
+            traces=[TraceSpec.suite("FP1", 200)],
+            jobs=2,
+            task_timeout=1.0,
+            max_retries=0,
+            allow_failures=True,
+        )
+        results = run_plan(plan, telemetry)
+        kinds = [e["event"] for e in events]
+        assert "worker_restart" in kinds
+        restart = next(e for e in events if e["event"] == "worker_restart")
+        assert restart["reason"] == "timeout"
+        assert results["hang"][0] is None
+        assert results["bimodal"][0] is not None
+
+
+class TestCampaignCli:
+    def test_campaign_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "campaign", "FP1", "INT1",
+            "--predictors", "bimodal", "gshare",
+            "--branches", "400",
+            "--cache-dir", str(tmp_path / "store"),
+            "--telemetry", str(tmp_path / "events.jsonl"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "bimodal" in first and "0 cached" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 cached" in second
+
+        events = read_events(tmp_path / "events.jsonl")
+        assert {e["event"] for e in events} >= {"campaign_start", "campaign_finish"}
+
+    def test_campaign_default_traces_from_categories(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--categories", "SERV",
+                "--predictors", "bimodal",
+                "--branches", "200",
+                "--cache-dir", str(tmp_path / "store"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5" in out  # five SERV traces
+
+    def test_simulate_jobs_matches_serial(self, capsys):
+        from repro.cli import main
+
+        argv = ["simulate", "FP1", "--predictors", "bimodal", "--branches", "300"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
