@@ -11,6 +11,9 @@ suite traces.
 This is the template for any downstream predictor: implement
 ``predict``/``train`` (commit order, strict alternation), optionally
 ``storage_bits``, and every simulator/experiment facility works.
+Implementing ``_state_payload``/``_restore_payload`` (the snapshot
+protocol of ``docs/state.md``) additionally makes the predictor
+checkpointable, so campaigns can resume it mid-trace.
 """
 
 from repro.common.bitops import mask
@@ -58,6 +61,21 @@ class BiasFilteredGShare(BranchPredictor):
 
     def storage_bits(self) -> int:
         return self.entries * 2 + self.history_bits + self.bst.storage_bits()
+
+    def reset(self) -> None:
+        self.__init__(self.entries, self.history_bits)
+
+    def _state_payload(self) -> dict:
+        return {
+            "table": list(self._table),
+            "history": self._history,
+            "bst": self.bst.snapshot(),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        self._table = [int(v) for v in payload["table"]]
+        self._history = int(payload["history"]) & mask(self.history_bits)
+        self.bst.restore(payload["bst"])
 
 
 def main() -> None:

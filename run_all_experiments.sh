@@ -27,4 +27,16 @@ python3 -m repro.experiments.profile_assisted --output results/profile_assisted.
 python3 -m repro campaign --predictors oh-snap tage15 bf-neural \
     --jobs "$(nproc)" --telemetry results/campaign-telemetry.jsonl \
     --output results/campaign.txt --quiet
+# Checkpoint/resume stage: the heavyweight configs again with mid-trace
+# state checkpoints streaming into .bfbp-cache/state/. If this script is
+# killed here, re-running it resumes every unfinished task from its last
+# cut (task_resume events in the telemetry) instead of branch zero.
+python3 -m repro campaign SPEC02 SPEC08 SERV3 --predictors bf-neural bf-tage10 \
+    --checkpoint-every 10000 \
+    --telemetry results/campaign-resume-telemetry.jsonl \
+    --output results/campaign-resume.txt --quiet
+# Record a canonical state hash for one trained predictor so two
+# checkouts can check bit-identity of the whole simulation stack.
+python3 -m repro state hash --predictor gshare --trace SPEC02 \
+    > results/state-hash.txt
 echo ALL_EXPERIMENTS_DONE

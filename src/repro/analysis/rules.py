@@ -19,6 +19,10 @@ REPRO004  Determinism: no ``random`` / ``time`` imports or
 REPRO005  Interface: every concrete ``BranchPredictor`` subclass must
           define ``name``, ``storage_bits`` and ``reset`` — unaccounted
           storage invalidates Table I-style comparisons.
+REPRO006  Snapshot coverage: mutable state assigned in a predictor's
+          ``__init__`` must be captured by its ``snapshot()`` /
+          ``_state_payload()`` — uncovered state silently breaks the
+          checkpoint/resume bit-identity guarantee (``docs/state.md``).
 ========  ============================================================
 
 The linter is stdlib-``ast`` only.  Scope notes: REPRO001/003 apply to
@@ -409,6 +413,14 @@ class _ClassInfo:
     bases: list[str] = field(default_factory=list)
     members: set[str] = field(default_factory=set)
     abstract: bool = False
+    #: ``self.<attr>`` assignments in ``__init__`` whose right-hand side
+    #: builds a mutable container/component (attr name -> line).
+    init_mutable: dict[str, int] = field(default_factory=dict)
+    #: ``self.<attr>`` names referenced inside ``snapshot``/
+    #: ``_state_payload`` bodies.
+    state_refs: set[str] = field(default_factory=set)
+    #: Whether the class defines ``snapshot`` or ``_state_payload``.
+    defines_state: bool = False
 
 
 def _import_map(tree: ast.Module) -> dict[str, str]:
@@ -463,6 +475,11 @@ def _class_index(sources: list[ModuleSource]) -> dict[str, _ClassInfo]:
                     for decorator in stmt.decorator_list:
                         if "abstractmethod" in ast.unparse(decorator):
                             info.abstract = True
+                    if stmt.name == "__init__":
+                        _collect_init_mutable(stmt, info)
+                    elif stmt.name in _STATE_METHODS:
+                        info.defines_state = True
+                        info.state_refs |= _self_attr_refs(stmt)
                 elif isinstance(stmt, ast.AnnAssign) and isinstance(
                     stmt.target, ast.Name
                 ):
@@ -546,6 +563,167 @@ def _check_predictor_interface(sources: list[ModuleSource]) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REPRO006 — snapshot coverage of mutable predictor state
+# ----------------------------------------------------------------------
+
+#: Methods that define the state-snapshot protocol for a class.
+_STATE_METHODS = ("snapshot", "_state_payload")
+
+#: Builtin/stdlib constructors whose results are mutable containers.
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "array",
+}
+
+#: Array-constructor method names (``np.zeros`` and friends).
+_MUTABLE_ARRAY_METHODS = {"zeros", "ones", "full", "empty", "arange", "array"}
+
+
+def _rhs_is_mutable(node: ast.AST) -> bool:
+    """Whether an ``__init__`` right-hand side builds mutable state.
+
+    Containers (displays, comprehensions, ``[0] * n``), container
+    constructors, numpy array builders and component constructions
+    (calls to Capitalized names) all count; ``*Config`` constructions do
+    not — configuration is immutable by repo convention.
+    """
+    for sub in ast.walk(node):
+        if isinstance(
+            sub, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            return True
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            else:
+                continue
+            if callee in _MUTABLE_FACTORIES or callee in _MUTABLE_ARRAY_METHODS:
+                return True
+            if callee[:1].isupper() and not callee.endswith("Config"):
+                return True
+    return False
+
+
+def _collect_init_mutable(init: ast.FunctionDef, info: _ClassInfo) -> None:
+    for node in ast.walk(init):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and _rhs_is_mutable(value)
+            ):
+                info.init_mutable.setdefault(target.attr, node.lineno)
+
+
+def _self_attr_refs(func: ast.FunctionDef) -> set[str]:
+    return {
+        node.attr
+        for node in ast.walk(func)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+
+
+def _chain_classes(
+    info: _ClassInfo, index: dict[str, _ClassInfo]
+) -> list[_ClassInfo]:
+    """The class and its ancestors below ``BranchPredictor``."""
+    chain = [info]
+    seen = {info.qualname}
+    stack = list(info.bases)
+    while stack:
+        base = stack.pop()
+        if _is_predictor_root(base):
+            continue
+        parent = index.get(base)
+        if parent is None or parent.qualname in seen:
+            continue
+        seen.add(parent.qualname)
+        chain.append(parent)
+        stack.extend(parent.bases)
+    return chain
+
+
+def _check_snapshot_coverage(sources: list[ModuleSource]) -> list[Finding]:
+    index = _class_index(sources)
+    findings: list[Finding] = []
+    visited: set[str] = set()
+    flagged: set[tuple[str, str]] = set()
+    for info in index.values():
+        if info.qualname in visited:
+            continue
+        visited.add(info.qualname)
+        if info.name == _PREDICTOR_ROOT or info.abstract:
+            continue
+        if not _descends_from_root(info, index, set()):
+            continue
+        chain = _chain_classes(info, index)
+        if not any(cls.init_mutable for cls in chain):
+            continue
+        if not any(cls.defines_state for cls in chain):
+            key = (info.relpath, info.name)
+            if key not in flagged:
+                flagged.add(key)
+                findings.append(
+                    Finding(
+                        rule="REPRO006",
+                        file=info.relpath,
+                        line=info.line,
+                        symbol=info.name,
+                        message="predictor holds mutable state but defines no "
+                        "snapshot (`_state_payload`)",
+                        hint="implement _state_payload/_restore_payload so "
+                        "campaigns can checkpoint and resume this predictor",
+                    )
+                )
+            continue
+        refs: set[str] = set()
+        for cls in chain:
+            refs |= cls.state_refs
+        for cls in chain:
+            for attr, line in sorted(cls.init_mutable.items()):
+                if attr in refs:
+                    continue
+                key = (cls.relpath, f"{cls.name}.{attr}")
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                findings.append(
+                    Finding(
+                        rule="REPRO006",
+                        file=cls.relpath,
+                        line=line,
+                        symbol=f"{cls.name}.{attr}",
+                        message=f"__init__ assigns mutable `self.{attr}` "
+                        "not covered by snapshot",
+                        hint="serialize it in _state_payload, or baseline it "
+                        "with a justification if it is a derived constant",
+                    )
+                )
+    findings.sort(key=lambda f: (f.file, f.line))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
@@ -556,6 +734,7 @@ RULES = {
     "REPRO003": ("float arithmetic in predict/train", _check_float_paths),
     "REPRO004": ("nondeterminism", _check_determinism),
     "REPRO005": ("incomplete predictor interface", None),
+    "REPRO006": ("mutable state outside snapshot", None),
 }
 
 
@@ -567,11 +746,9 @@ def lint_sources(sources: list[ModuleSource]) -> list[Finding]:
         for rule_id, (_, checker) in RULES.items():
             if checker is not None:
                 findings.extend(checker(source))
-    findings.extend(
-        _check_predictor_interface(
-            [s for s in sources if not s.module.startswith("repro.analysis")]
-        )
-    )
+    non_analysis = [s for s in sources if not s.module.startswith("repro.analysis")]
+    findings.extend(_check_predictor_interface(non_analysis))
+    findings.extend(_check_snapshot_coverage(non_analysis))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings
 

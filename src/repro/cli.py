@@ -9,6 +9,8 @@ Subcommands:
 * ``campaign``  — run a predictor × trace grid through the orchestration
   engine: parallel workers, content-addressed caching, manifest
   checkpoint/resume and JSONL telemetry.
+* ``state``     — dump, hash and diff predictor state snapshots (the
+  versioned snapshot/restore protocol of ``docs/state.md``).
 * ``diagnose``  — attribute mispredictions to static branches.
 * ``storage``   — storage budgets of the standard configurations.
 
@@ -99,8 +101,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.orchestration import CampaignPlan, run_plan
 
     factories, specs = _grid_specs(args)
+    state_dir = Path(args.state_dir) if args.state_dir else None
+    if args.checkpoint_every and state_dir is None:
+        raise SystemExit("--checkpoint-every requires --state-dir")
     results = run_plan(
-        CampaignPlan(factories=factories, traces=specs, jobs=args.jobs)
+        CampaignPlan(
+            factories=factories,
+            traces=specs,
+            jobs=args.jobs,
+            state_dir=state_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
     )
     print(f"{'trace':10s} {'predictor':16s} {'MPKI':>8s} {'rate':>8s}")
     for position, spec in enumerate(specs):
@@ -129,6 +140,12 @@ def _progress_printer():
         elif kind == "task_failed" and event.get("final"):
             print(
                 f"FAILED {event['config']} × {event['trace']}: {event['error']}",
+                flush=True,
+            )
+        elif kind == "task_resume":
+            print(
+                f"resuming {event['config']} × {event['trace']} "
+                f"from branch {event['position']}",
                 flush=True,
             )
         elif kind == "worker_restart":
@@ -162,6 +179,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     manifest_path = args.manifest
     if manifest_path is None and store_dir is not None:
         manifest_path = store_dir / "campaign-manifest.json"
+    state_dir = Path(args.state_dir) if args.state_dir else None
+    if state_dir is None and args.checkpoint_every and store_dir is not None:
+        state_dir = store_dir / "state"
+    if args.checkpoint_every and state_dir is None:
+        raise SystemExit("--checkpoint-every requires --state-dir or --cache-dir")
     plan = CampaignPlan(
         factories=factories,
         traces=specs,
@@ -171,6 +193,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         manifest_path=Path(manifest_path) if manifest_path else None,
         allow_failures=True,
+        state_dir=state_dir,
+        checkpoint_every=args.checkpoint_every,
+        warmup_branches=args.warmup,
     )
     total = len(factories) * len(specs)
     subscribers = () if args.quiet else (_progress_printer(),)
@@ -197,6 +222,80 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             Path(args.output).parent.mkdir(parents=True, exist_ok=True)
             Path(args.output).write_text(report + "\n")
     return 1 if failed else 0
+
+
+def _trained_predictor(args: argparse.Namespace):
+    """Build the named predictor and train it over the given trace."""
+    from repro.sim.simulator import simulate
+
+    registry = _predictor_registry()
+    if args.predictor not in registry:
+        raise SystemExit(
+            f"unknown predictor {args.predictor!r}; "
+            f"available: {', '.join(sorted(registry))}"
+        )
+    predictor = registry[args.predictor]()
+    if args.trace:
+        simulate(predictor, _load_trace(args.trace, args.branches))
+    return predictor
+
+
+def _cmd_state_dump(args: argparse.Namespace) -> int:
+    import json
+
+    state = _trained_predictor(args).snapshot()
+    text = json.dumps(state.to_json(), indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(text + "\n")
+        print(f"{args.output}  ({state.kind} v{state.version}, {state.hash()[:16]})")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_state_hash(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.state import PredictorState, StateError
+
+    if args.files:
+        status = 0
+        for file in args.files:
+            try:
+                state = PredictorState.from_json(json.loads(Path(file).read_text()))
+            except (OSError, json.JSONDecodeError, StateError) as exc:
+                print(f"{file}: INVALID ({exc})")
+                status = 1
+                continue
+            print(f"{state.hash()}  {file}")
+        return status
+    if not args.predictor:
+        raise SystemExit("state hash needs FILES or --predictor/--trace")
+    print(_trained_predictor(args).state_hash())
+    return 0
+
+
+def _cmd_state_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.state import PredictorState, StateError
+
+    states = []
+    for file in (args.left, args.right):
+        try:
+            states.append(PredictorState.from_json(json.loads(Path(file).read_text())))
+        except (OSError, json.JSONDecodeError, StateError) as exc:
+            raise SystemExit(f"{file}: {exc}")
+    differences = states[0].diff(states[1])
+    if not differences:
+        print(f"identical ({states[0].hash()[:16]})")
+        return 0
+    for line in differences[: args.limit]:
+        print(line)
+    if len(differences) > args.limit:
+        print(f"... and {len(differences) - args.limit} more")
+    return 1
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -260,6 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = serial)"
     )
+    p_sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="save a predictor-state checkpoint every N branches",
+    )
+    p_sim.add_argument(
+        "--state-dir",
+        default=None,
+        help="checkpoint state store directory (enables resume)",
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_camp = sub.add_parser(
@@ -295,9 +405,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--retries", type=int, default=1, help="retries per task on crash/timeout"
     )
+    p_camp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="save mid-trace state checkpoints every N branches",
+    )
+    p_camp.add_argument(
+        "--state-dir",
+        default=None,
+        help="state store directory (default: <cache-dir>/state when "
+        "--checkpoint-every is set)",
+    )
+    p_camp.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        help="warmup branches excluded from the measured counts",
+    )
     p_camp.add_argument("--output", default=None, help="also write the report here")
     p_camp.add_argument("--quiet", action="store_true", help="suppress live progress")
     p_camp.set_defaults(fn=_cmd_campaign)
+
+    p_state = sub.add_parser(
+        "state", help="dump, hash and diff predictor state snapshots"
+    )
+    state_sub = p_state.add_subparsers(dest="state_command", required=True)
+
+    p_dump = state_sub.add_parser(
+        "dump", help="train a predictor over a trace and dump its state JSON"
+    )
+    p_dump.add_argument("--predictor", required=True)
+    p_dump.add_argument("--trace", default=None, help="suite name or .bfbp file")
+    p_dump.add_argument("--branches", type=int, default=None)
+    p_dump.add_argument("--output", default=None, help="write state JSON here")
+    p_dump.set_defaults(fn=_cmd_state_dump)
+
+    p_hash = state_sub.add_parser(
+        "hash", help="canonical state hash of dumped files or a live predictor"
+    )
+    p_hash.add_argument("files", nargs="*", help="dumped state JSON files")
+    p_hash.add_argument("--predictor", default=None)
+    p_hash.add_argument("--trace", default=None)
+    p_hash.add_argument("--branches", type=int, default=None)
+    p_hash.set_defaults(fn=_cmd_state_hash)
+
+    p_diff = state_sub.add_parser(
+        "diff", help="structural diff of two dumped state files (exit 1 if differ)"
+    )
+    p_diff.add_argument("left")
+    p_diff.add_argument("right")
+    p_diff.add_argument("--limit", type=int, default=40, help="max diff lines shown")
+    p_diff.set_defaults(fn=_cmd_state_diff)
 
     p_diag = sub.add_parser("diagnose", help="attribute mispredictions per branch")
     p_diag.add_argument("traces", nargs="+")

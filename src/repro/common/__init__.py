@@ -20,18 +20,28 @@ from repro.common.counters import (
 )
 from repro.common.histories import FoldedHistory, HistoryRing, MultiFoldedHistory
 from repro.common.rng import XorShift64
+from repro.common.state import (
+    PredictorState,
+    StateError,
+    canonical_bytes,
+    payload_hash,
+)
 
 __all__ = [
     "FoldedHistory",
     "HistoryRing",
     "MultiFoldedHistory",
+    "PredictorState",
     "ProbabilisticCounter",
     "SaturatingCounter",
     "SignedSaturatingCounter",
+    "StateError",
     "XorShift64",
+    "canonical_bytes",
     "fold_bits",
     "hash_combine",
     "is_power_of_two",
     "mask",
     "mix64",
+    "payload_hash",
 ]

@@ -18,6 +18,7 @@ Predictors need two views of the branch outcome stream:
 from __future__ import annotations
 
 from repro.common.bitops import fold_bits, mask
+from repro.common.state import expect_keys, expect_length
 
 
 class HistoryRing:
@@ -74,6 +75,18 @@ class HistoryRing:
         self._head = 0
         self._count = 0
 
+    def snapshot(self) -> dict:
+        """JSON-safe copy of the ring contents and cursor."""
+        return {"buf": list(self._buf), "head": self._head, "count": self._count}
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; the capacity must match."""
+        expect_keys(state, ("buf", "head", "count"), "HistoryRing")
+        expect_length(state["buf"], self.capacity, "HistoryRing.buf")
+        self._buf = list(state["buf"])
+        self._head = state["head"] % self.capacity
+        self._count = min(int(state["count"]), self.capacity)
+
 
 class FoldedHistory:
     """Incrementally maintained fold of the last ``length`` bits to ``width``.
@@ -114,6 +127,17 @@ class FoldedHistory:
 
     def clear(self) -> None:
         self.value = 0
+
+    def snapshot(self) -> int:
+        """The fold register value (geometry is configuration, not state)."""
+        return self.value
+
+    def restore(self, state: int) -> None:
+        if not isinstance(state, int) or not 0 <= state < (1 << self.width):
+            raise ValueError(
+                f"FoldedHistory: value {state!r} outside {self.width}-bit register"
+            )
+        self.value = state
 
 
 def naive_fold(ring: HistoryRing, length: int, width: int) -> int:
@@ -193,3 +217,18 @@ class MultiFoldedHistory:
         self._ring.clear()
         for fold in self._folds:
             fold.clear()
+
+    def snapshot(self) -> dict:
+        """Ring contents plus every folded register value."""
+        return {
+            "ring": self._ring.snapshot(),
+            "folds": [fold.snapshot() for fold in self._folds],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; the depth ladder must match."""
+        expect_keys(state, ("ring", "folds"), "MultiFoldedHistory")
+        expect_length(state["folds"], len(self._folds), "MultiFoldedHistory.folds")
+        self._ring.restore(state["ring"])
+        for fold, value in zip(self._folds, state["folds"]):
+            fold.restore(value)

@@ -51,3 +51,13 @@ class XorShift64:
     def fork(self) -> "XorShift64":
         """Return an independent generator seeded from this one."""
         return XorShift64(self.next_u64())
+
+    def snapshot(self) -> int:
+        """The complete generator state (one 64-bit integer)."""
+        return self._state
+
+    def restore(self, state: int) -> None:
+        """Re-install a state captured by :meth:`snapshot`."""
+        if not isinstance(state, int) or not 0 < state <= _U64:
+            raise ValueError(f"invalid xorshift64 state: {state!r}")
+        self._state = state

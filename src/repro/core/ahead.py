@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.common.bitops import fold_bits, mask, mix64
+from repro.common.state import expect_keys
 from repro.core.bfneural import BFNeural, BFNeuralConfig, quantize_distance
 
 
@@ -131,3 +132,36 @@ class AheadPipelinedBFNeural(BFNeural):
 
     def reset(self) -> None:
         self.__init__(self.config, self.ahead)
+
+    def _state_payload(self) -> dict:
+        payload = super()._state_payload()
+        payload["ahead_snapshots"] = [
+            {
+                "entries": [[a, s, o] for a, s, o in entries],
+                "clock": clock,
+                "recent_bits": recent_bits,
+                "recent_paths": list(recent_paths),
+                "folds": list(folds),
+            }
+            for entries, clock, recent_bits, recent_paths, folds in self._snapshots
+        ]
+        return payload
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("ahead_snapshots",), "AheadPipelinedBFNeural")
+        super()._restore_payload(
+            {k: v for k, v in payload.items() if k != "ahead_snapshots"}
+        )
+        self._snapshots = deque(
+            (
+                (
+                    [(int(a), int(s), bool(o)) for a, s, o in snap["entries"]],
+                    int(snap["clock"]),
+                    int(snap["recent_bits"]),
+                    [int(v) for v in snap["recent_paths"]],
+                    [int(v) for v in snap["folds"]],
+                )
+                for snap in payload["ahead_snapshots"]
+            ),
+            maxlen=max(1, self.ahead),
+        )

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 from repro.common.bitops import fold_bits, mask, mix64
 from repro.common.histories import MultiFoldedHistory
+from repro.common.state import expect_keys, expect_length
 from repro.core.bst import BranchStatus, BranchStatusTable
 from repro.core.recency_stack import RecencyStack
 from repro.predictors.base import BranchPredictor
@@ -339,3 +340,81 @@ class BFNeural(BranchPredictor):
         if self.loop is not None:
             bits += self.loop.storage_bits()
         return bits
+
+    def _state_payload(self) -> dict:
+        return {
+            "bst": self.bst.snapshot(),
+            "rs": self.rs.snapshot(),
+            "wb": list(self._wb),
+            "wm": [list(row) for row in self._wm],
+            "wrs": list(self._wrs),
+            "loop": self.loop.snapshot() if self.loop is not None else None,
+            "withloop": self._withloop,
+            "theta": self.theta,
+            "tc": self._tc,
+            "recent_bits": self._recent_bits,
+            "recent_paths": list(self._recent_paths),
+            "folds": self._folds.snapshot(),
+            "scratch": {
+                "status": int(self._last_status),
+                "accum": self._last_accum,
+                "used_weights": self._last_used_weights,
+                "wm_rows": list(self._last_wm_rows),
+                "wm_signs": list(self._last_wm_signs),
+                "wrs_idx": list(self._last_wrs_idx),
+                "wrs_signs": list(self._last_wrs_signs),
+                "bias_index": self._last_bias_index,
+                "neural_pred": self._last_neural_pred,
+                "loop_pred": self._last_loop_pred,
+                "loop_valid": self._last_loop_valid,
+                "pred": self._last_pred,
+                "provider": self._last_provider,
+            },
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        cfg = self.config
+        expect_keys(
+            payload,
+            ("bst", "rs", "wb", "wm", "wrs", "loop", "withloop", "theta", "tc",
+             "recent_bits", "recent_paths", "folds", "scratch"),
+            "BFNeural",
+        )
+        expect_length(payload["wb"], cfg.bias_entries, "BFNeural.wb")
+        expect_length(payload["wm"], cfg.wm_rows, "BFNeural.wm")
+        expect_length(payload["wrs"], cfg.wrs_entries, "BFNeural.wrs")
+        expect_length(payload["recent_paths"], cfg.ht, "BFNeural.recent_paths")
+        self.bst.restore(payload["bst"])
+        self.rs.restore(payload["rs"])
+        self._wb = [int(v) for v in payload["wb"]]
+        self._wm = [[int(v) for v in row] for row in payload["wm"]]
+        self._wrs = [int(v) for v in payload["wrs"]]
+        if self.loop is not None:
+            self.loop.restore(payload["loop"])
+        self._withloop = int(payload["withloop"])
+        self.theta = int(payload["theta"])
+        self._tc = int(payload["tc"])
+        self._recent_bits = int(payload["recent_bits"])
+        self._recent_paths = [int(v) for v in payload["recent_paths"]]
+        self._folds.restore(payload["folds"])
+        scratch = payload["scratch"]
+        expect_keys(
+            scratch,
+            ("status", "accum", "used_weights", "wm_rows", "wm_signs", "wrs_idx",
+             "wrs_signs", "bias_index", "neural_pred", "loop_pred", "loop_valid",
+             "pred", "provider"),
+            "BFNeural.scratch",
+        )
+        self._last_status = BranchStatus(scratch["status"])
+        self._last_accum = int(scratch["accum"])
+        self._last_used_weights = bool(scratch["used_weights"])
+        self._last_wm_rows = [int(v) for v in scratch["wm_rows"]]
+        self._last_wm_signs = [int(v) for v in scratch["wm_signs"]]
+        self._last_wrs_idx = [int(v) for v in scratch["wrs_idx"]]
+        self._last_wrs_signs = [int(v) for v in scratch["wrs_signs"]]
+        self._last_bias_index = int(scratch["bias_index"])
+        self._last_neural_pred = bool(scratch["neural_pred"])
+        self._last_loop_pred = bool(scratch["loop_pred"])
+        self._last_loop_valid = bool(scratch["loop_valid"])
+        self._last_pred = bool(scratch["pred"])
+        self._last_provider = str(scratch["provider"])

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.common.bitops import mix64
+from repro.common.state import expect_keys, expect_length
 from repro.core.bfneural import quantize_distance
 from repro.core.recency_stack import RecencyStack
 from repro.predictors.base import BranchPredictor
@@ -157,3 +158,40 @@ class IdealBFNeural(BranchPredictor):
             + self.wm_rows * self.rs_depth * 6
             + self.rs.storage_bits()
         )
+
+    def _state_payload(self) -> dict:
+        # The oracle is configuration (a callable), not state: a restore
+        # target must be constructed with the same oracle.
+        return {
+            "wb": list(self._wb),
+            "wm": [list(row) for row in self._wm],
+            "rs": self.rs.snapshot(),
+            "scratch": {
+                "accum": self._last_accum,
+                "terms": [list(term) for term in self._last_terms],
+                "bias_index": self._last_bias_index,
+                "non_biased": self._last_non_biased,
+                "pred": self._last_pred,
+            },
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("wb", "wm", "rs", "scratch"), "IdealBFNeural")
+        expect_length(payload["wb"], self.bias_entries, "IdealBFNeural.wb")
+        expect_length(payload["wm"], self.wm_rows, "IdealBFNeural.wm")
+        self._wb = [int(v) for v in payload["wb"]]
+        self._wm = [[int(v) for v in row] for row in payload["wm"]]
+        self.rs.restore(payload["rs"])
+        scratch = payload["scratch"]
+        expect_keys(
+            scratch,
+            ("accum", "terms", "bias_index", "non_biased", "pred"),
+            "IdealBFNeural.scratch",
+        )
+        self._last_accum = int(scratch["accum"])
+        self._last_terms = [
+            (int(row), int(col), int(sign)) for row, col, sign in scratch["terms"]
+        ]
+        self._last_bias_index = int(scratch["bias_index"])
+        self._last_non_biased = bool(scratch["non_biased"])
+        self._last_pred = bool(scratch["pred"])

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.bitops import fold_bits, mask
+from repro.common.state import expect_keys
 from repro.core.bst import BranchStatusTable
 from repro.core.segments import DEFAULT_BOUNDARIES, SegmentedRecencyStacks
 from repro.predictors.tage.isl import ISLTage
@@ -162,6 +163,20 @@ class BFTage(Tage):
         bits += self.segments.storage_bits()
         bits += self.config.path_bits
         return bits
+
+    def _state_payload(self) -> dict:
+        payload = super()._state_payload()
+        payload["bst"] = self.bst.snapshot()
+        payload["segments"] = self.segments.snapshot()
+        return payload
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("bst", "segments"), "BFTage")
+        super()._restore_payload(
+            {k: v for k, v in payload.items() if k not in ("bst", "segments")}
+        )
+        self.bst.restore(payload["bst"])
+        self.segments.restore(payload["segments"])
 
 
 class BFISLTage(ISLTage):

@@ -25,6 +25,7 @@ from enum import IntEnum
 
 from repro.common.bitops import is_power_of_two
 from repro.common.rng import XorShift64
+from repro.common.state import expect_keys, expect_length
 
 
 class BranchStatus(IntEnum):
@@ -145,3 +146,27 @@ class BranchStatusTable:
 
     def storage_bits(self) -> int:
         return self.entries * (3 if self.probabilistic else 2)
+
+    def snapshot(self) -> dict:
+        """All FSM states plus the probabilistic bookkeeping and RNG."""
+        return {
+            "state": [int(s) for s in self._state],
+            "disagree": list(self._disagree),
+            "streak": list(self._streak),
+            "streak_dir": list(self._streak_dir),
+            "rng": self._rng.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; geometry and mode must match."""
+        expect_keys(state, ("state", "disagree", "streak", "streak_dir", "rng"), "BST")
+        expect_length(state["state"], self.entries, "BST.state")
+        aux = self.entries if self.probabilistic else 0
+        expect_length(state["disagree"], aux, "BST.disagree")
+        expect_length(state["streak"], aux, "BST.streak")
+        expect_length(state["streak_dir"], aux, "BST.streak_dir")
+        self._state = [BranchStatus(s) for s in state["state"]]
+        self._disagree = [int(v) for v in state["disagree"]]
+        self._streak = [int(v) for v in state["streak"]]
+        self._streak_dir = [bool(v) for v in state["streak_dir"]]
+        self._rng.restore(state["rng"])

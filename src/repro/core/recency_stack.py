@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.state import StateError, expect_keys
+
 
 @dataclass
 class RSEntry:
@@ -85,13 +87,38 @@ class RecencyStack:
         """Entries from most to least recent (index 0 = top of stack)."""
         return self._entries
 
-    def snapshot(self) -> list[tuple[int, int, bool]]:
+    def aph_view(self) -> list[tuple[int, int, bool]]:
         """(address, distance, outcome) triples, top first — the (A, P, H)
         arrays of Algorithm 2."""
         return [
             (entry.address, self.distance_of(entry), entry.outcome)
             for entry in self._entries
         ]
+
+    def snapshot(self) -> dict:
+        """JSON-safe copy of the raw entries and the commit clock.
+
+        Unlike :meth:`aph_view` this keeps the absolute stamps so a
+        restore reproduces distance saturation behaviour bit-exactly.
+        """
+        return {
+            "entries": [[e.address, e.stamp, e.outcome] for e in self._entries],
+            "clock": self._clock,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; the depth bound must hold."""
+        expect_keys(state, ("entries", "clock"), "RecencyStack")
+        entries = state["entries"]
+        if not isinstance(entries, list) or len(entries) > self.depth:
+            raise StateError(
+                f"RecencyStack: {len(entries)} entries exceed depth {self.depth}"
+            )
+        self._entries = [
+            RSEntry(address=int(a), stamp=int(s), outcome=bool(o))
+            for a, s, o in entries
+        ]
+        self._clock = int(state["clock"])
 
     def find(self, pc: int) -> RSEntry | None:
         for entry in self._entries:

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.state import expect_keys, expect_length
+
 #: The paper's history segmentation (Section VI-C).
 DEFAULT_BOUNDARIES = [
     16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512, 768, 1024, 1280, 1536, 2048,
@@ -195,3 +197,28 @@ class SegmentedRecencyStacks:
         ring_bits = self.boundaries[-1] * (self.hashed_pc_bits + 1 + 1)
         rs_bits = self.num_segments * self.rs_size * 16
         return ring_bits + rs_bits
+
+    def snapshot(self) -> dict:
+        """Commit ring, cursor, and every segment's valid entries."""
+        return {
+            "segments": [
+                [[e.hashed_pc, e.stamp, e.outcome] for e in entries]
+                for entries in self._segments
+            ],
+            "ring": [[pc, taken, nb] for pc, taken, nb in self._ring],
+            "head": self._head,
+            "count": self._count,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; segmentation must match."""
+        expect_keys(state, ("segments", "ring", "head", "count"), "SegmentedRS")
+        expect_length(state["segments"], self.num_segments, "SegmentedRS.segments")
+        expect_length(state["ring"], len(self._ring), "SegmentedRS.ring")
+        self._segments = [
+            [_SegmentEntry(int(pc), int(stamp), bool(out)) for pc, stamp, out in entries]
+            for entries in state["segments"]
+        ]
+        self._ring = [(int(pc), bool(taken), bool(nb)) for pc, taken, nb in state["ring"]]
+        self._head = int(state["head"])
+        self._count = min(int(state["count"]), len(self._ring))

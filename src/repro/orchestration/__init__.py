@@ -24,6 +24,7 @@ from repro.orchestration.fingerprint import (
 )
 from repro.orchestration.manifest import CampaignManifest, campaign_id_of
 from repro.orchestration.registry import standard_registry, trace_spec_for
+from repro.orchestration.statestore import StateStore, warm_context_key
 from repro.orchestration.store import ResultStore
 from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
 from repro.orchestration.telemetry import (
@@ -41,6 +42,7 @@ __all__ = [
     "EVENT_FIELDS",
     "PredictorFactory",
     "ResultStore",
+    "StateStore",
     "Task",
     "TaskOutcome",
     "Telemetry",
@@ -55,4 +57,5 @@ __all__ = [
     "trace_content_fingerprint",
     "trace_spec_for",
     "validate_event",
+    "warm_context_key",
 ]

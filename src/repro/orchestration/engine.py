@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.orchestration import scheduler
 from repro.orchestration.fingerprint import predictor_fingerprint, task_fingerprint
 from repro.orchestration.manifest import STATUS_DONE, CampaignManifest, campaign_id_of
+from repro.orchestration.statestore import warm_context_key
 from repro.orchestration.store import ResultStore
 from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
 from repro.orchestration.telemetry import Telemetry
@@ -47,7 +48,16 @@ class CampaignError(RuntimeError):
 
 @dataclass
 class CampaignPlan:
-    """Everything needed to execute one predictor × trace grid."""
+    """Everything needed to execute one predictor × trace grid.
+
+    The checkpoint/warm-state knobs (``state_dir``, ``checkpoint_every``,
+    ``warmup_branches``, ``warm_share``) are documented in
+    ``docs/state.md``: with a state store configured, tasks stream
+    periodic mid-trace checkpoints and a re-run of a killed campaign
+    resumes each task from its last cut; ``warm_share`` maps ablation
+    variant config names to the source config whose warmed-up state
+    seeds their shared components.
+    """
 
     factories: dict[str, PredictorFactory]
     traces: list[Trace | TraceSpec]
@@ -59,10 +69,23 @@ class CampaignPlan:
     manifest_path: Path | None = None
     allow_failures: bool = False
     verbose: bool = False
+    state_dir: Path | None = None
+    checkpoint_every: int | None = None
+    warmup_branches: int = 0
+    warm_share: dict[str, str] = field(default_factory=dict)
     trace_specs: list[TraceSpec] = field(init=False)
 
     def __post_init__(self) -> None:
         self.trace_specs = [TraceSpec.of(trace) for trace in self.traces]
+        for variant, source in self.warm_share.items():
+            if variant not in self.factories:
+                raise ValueError(f"warm_share variant {variant!r} not in factories")
+            if source not in self.factories:
+                raise ValueError(f"warm_share source {source!r} not in factories")
+            if variant == source:
+                raise ValueError(f"warm_share variant {variant!r} is its own source")
+        if self.warm_share and self.warmup_branches <= 0:
+            raise ValueError("warm_share requires warmup_branches > 0")
 
 
 def build_tasks(plan: CampaignPlan) -> list[Task]:
@@ -70,8 +93,15 @@ def build_tasks(plan: CampaignPlan) -> list[Task]:
     tasks: list[Task] = []
     index = 0
     trace_identities = [spec.identity() for spec in plan.trace_specs]
+    predictor_fps = {
+        config_name: predictor_fingerprint(factory())
+        for config_name, factory in plan.factories.items()
+    }
+    state_dir = str(plan.state_dir) if plan.state_dir is not None else None
     for config_name, factory in plan.factories.items():
-        predictor_fp = predictor_fingerprint(factory())
+        predictor_fp = predictor_fps[config_name]
+        warm_source = plan.warm_share.get(config_name)
+        warm_source_fp = predictor_fps[warm_source] if warm_source else ""
         for spec, trace_identity in zip(plan.trace_specs, trace_identities):
             tasks.append(
                 Task(
@@ -81,8 +111,21 @@ def build_tasks(plan: CampaignPlan) -> list[Task]:
                     trace=spec,
                     track_providers=plan.track_providers,
                     fingerprint=task_fingerprint(
-                        predictor_fp, trace_identity, plan.track_providers
+                        predictor_fp,
+                        trace_identity,
+                        plan.track_providers,
+                        warmup_branches=plan.warmup_branches,
+                        warm_source=warm_source_fp,
                     ),
+                    warmup_branches=plan.warmup_branches,
+                    checkpoint_every=plan.checkpoint_every,
+                    state_dir=state_dir,
+                    warm_key=warm_context_key(
+                        warm_source_fp, trace_identity, plan.warmup_branches
+                    )
+                    if warm_source
+                    else None,
+                    warm_factory=plan.factories[warm_source] if warm_source else None,
                 )
             )
             index += 1
@@ -191,7 +234,12 @@ def run_plan(
             if store is not None:
                 store.store(outcome.task.fingerprint, outcome.result)
             if manifest is not None:
-                manifest.mark_done(outcome.task, attempts=outcome.attempts)
+                manifest.mark_done(
+                    outcome.task,
+                    attempts=outcome.attempts,
+                    resumed_from=outcome.resumed_from,
+                    checkpoints=outcome.checkpoints,
+                )
         elif manifest is not None:
             manifest.mark_failed(
                 outcome.task,

@@ -108,8 +108,20 @@ def trace_content_fingerprint(trace: Trace) -> str:
 
 
 def task_fingerprint(
-    predictor_fp: str, trace_identity: str, track_providers: bool
+    predictor_fp: str,
+    trace_identity: str,
+    track_providers: bool,
+    warmup_branches: int = 0,
+    warm_source: str = "",
 ) -> str:
-    """Combine the predictor, trace and measurement mode into one key."""
+    """Combine the predictor, trace and measurement mode into one key.
+
+    ``warmup_branches`` and ``warm_source`` (the warm-share source's
+    predictor fingerprint, empty for plain runs) change the measured
+    result, so they are part of the key; the defaults keep fingerprints
+    of plain runs identical to the pre-checkpoint scheme.
+    """
     parts = f"{predictor_fp}|{trace_identity}|providers={int(track_providers)}"
+    if warmup_branches or warm_source:
+        parts += f"|warmup={warmup_branches}|warm_source={warm_source}"
     return hashlib.sha256(parts.encode()).hexdigest()

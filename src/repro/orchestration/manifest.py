@@ -26,7 +26,10 @@ STATUS_PENDING = "pending"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 
-MANIFEST_VERSION = 1
+#: v2 added the per-task checkpoint fields (``resumed_from``,
+#: ``checkpoints``); v1 manifests load with those fields defaulted, so
+#: an interrupted pre-v2 sweep still resumes.
+MANIFEST_VERSION = 2
 
 
 def campaign_id_of(tasks: list[Task]) -> str:
@@ -44,6 +47,10 @@ class TaskRecord:
     status: str = STATUS_PENDING
     attempts: int = 0
     error: str | None = None
+    #: Branch position the successful run resumed from (None = ran cold).
+    resumed_from: int | None = None
+    #: Mid-trace checkpoints the run saved to the state store.
+    checkpoints: int = 0
 
     def to_dict(self) -> dict:
         payload = {
@@ -54,6 +61,10 @@ class TaskRecord:
         }
         if self.error is not None:
             payload["error"] = self.error
+        if self.resumed_from is not None:
+            payload["resumed_from"] = self.resumed_from
+        if self.checkpoints:
+            payload["checkpoints"] = self.checkpoints
         return payload
 
 
@@ -80,6 +91,8 @@ class CampaignManifest:
                     status=item.get("status", STATUS_PENDING),
                     attempts=item.get("attempts", 0),
                     error=item.get("error"),
+                    resumed_from=item.get("resumed_from"),
+                    checkpoints=item.get("checkpoints", 0),
                 )
                 for fingerprint, item in data["tasks"].items()
             }
@@ -115,11 +128,19 @@ class CampaignManifest:
         record = self.records.get(fingerprint)
         return record.status if record is not None else STATUS_PENDING
 
-    def mark_done(self, task: Task, attempts: int) -> None:
+    def mark_done(
+        self,
+        task: Task,
+        attempts: int,
+        resumed_from: int | None = None,
+        checkpoints: int = 0,
+    ) -> None:
         record = self.records[task.fingerprint]
         record.status = STATUS_DONE
         record.attempts = attempts
         record.error = None
+        record.resumed_from = resumed_from
+        record.checkpoints = checkpoints
         self.save()
 
     def mark_failed(self, task: Task, attempts: int, error: str) -> None:

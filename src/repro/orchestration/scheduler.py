@@ -24,9 +24,11 @@ from multiprocessing import get_context
 from multiprocessing.connection import Connection, wait
 from typing import Callable
 
+from repro.orchestration.statestore import StateStore
 from repro.orchestration.tasks import Task, TaskOutcome
 from repro.orchestration.telemetry import Telemetry, monotonic
 from repro.orchestration import store as result_store
+from repro.sim.metrics import SimCheckpoint
 from repro.sim.simulator import simulate
 
 OutcomeCallback = Callable[[TaskOutcome], None]
@@ -40,17 +42,81 @@ def _pool_context():
         return get_context()
 
 
-def _run_one(task: Task, trace_cache: dict) -> tuple[dict, float]:
-    """Resolve, simulate, encode — shared by serial path and workers."""
+def _run_one(task: Task, trace_cache: dict) -> tuple[dict, float, dict]:
+    """Resolve, simulate, encode — shared by serial path and workers.
+
+    Returns ``(payload, elapsed, meta)``; ``meta`` reports the
+    checkpoint/resume bookkeeping (``resumed_from``, ``checkpoints``,
+    ``warmed``) so the scheduler can surface it through telemetry and
+    :class:`TaskOutcome` without the result payload growing fields.
+    """
     key = task.trace.cache_key()
     trace = trace_cache.get(key)
     if trace is None:
         trace = task.trace.resolve()
         trace_cache[key] = trace
     predictor = task.factory()
+    state_store = StateStore(task.state_dir) if task.state_dir else None
+    meta: dict = {"resumed_from": None, "checkpoints": 0, "warmed": []}
     started = monotonic()
-    result = simulate(predictor, trace, track_providers=task.track_providers)
-    return result_store.encode_result(result), monotonic() - started
+
+    resume_from = None
+    if state_store is not None:
+        resume_from = state_store.latest(task.fingerprint, max_position=len(trace))
+        if resume_from is not None:
+            meta["resumed_from"] = resume_from.position
+
+    if resume_from is None and task.warm_key is not None and task.warmup_branches:
+        # Warm-share: seed shared components from the source predictor's
+        # warmed-up state, then enter the trace *at* the warmup position
+        # — the variant never replays the prefix.  The checkpoint is
+        # deterministic, so a cold store (compute + save) and a hit
+        # (load) install identical state and the result does not depend
+        # on cache contents.
+        warm_position = min(task.warmup_branches, len(trace))
+        warm = (
+            state_store.load(task.warm_key, warm_position)
+            if state_store is not None
+            else None
+        )
+        if warm is None:
+            source = task.warm_factory()
+            warm = simulate(source, trace, stop_after=warm_position).checkpoint
+            if state_store is not None:
+                state_store.save(task.warm_key, warm)
+        components = (
+            task.warm_components
+            if task.warm_components is not None
+            else tuple(warm.predictor_state.payload)
+        )
+        meta["warmed"] = predictor.restore_components(
+            warm.predictor_state, components
+        )
+        resume_from = SimCheckpoint(
+            position=warm_position,
+            mispredictions=0,
+            provider_hits={},
+            predictor_state=predictor.snapshot(),
+            trace_name=trace.name,
+        )
+
+    on_checkpoint = None
+    if state_store is not None and task.checkpoint_every is not None:
+
+        def on_checkpoint(checkpoint) -> None:
+            state_store.save(task.fingerprint, checkpoint)
+            meta["checkpoints"] += 1
+
+    result = simulate(
+        predictor,
+        trace,
+        track_providers=task.track_providers,
+        warmup_branches=task.warmup_branches,
+        resume_from=resume_from,
+        checkpoint_every=task.checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
+    return result_store.encode_result(result), monotonic() - started, meta
 
 
 def _worker_main(conn: Connection) -> None:
@@ -65,8 +131,8 @@ def _worker_main(conn: Connection) -> None:
             return
         task: Task = message[1]
         try:
-            payload, elapsed = _run_one(task, trace_cache)
-            conn.send(("done", task.index, payload, elapsed))
+            payload, elapsed, meta = _run_one(task, trace_cache)
+            conn.send(("done", task.index, payload, elapsed, meta))
         except KeyboardInterrupt:  # pragma: no cover - interactive abort
             return
         except BaseException:
@@ -136,6 +202,26 @@ def _settle(
         on_outcome(outcome)
 
 
+def _emit_meta_events(telemetry: Telemetry, task: Task, meta: dict) -> None:
+    """Surface a run's checkpoint/warm bookkeeping as telemetry events."""
+    if meta.get("resumed_from") is not None:
+        telemetry.emit(
+            "task_resume",
+            index=task.index,
+            config=task.config_name,
+            trace=task.trace.name,
+            position=meta["resumed_from"],
+        )
+    if meta.get("warmed"):
+        telemetry.emit(
+            "warm_restore",
+            index=task.index,
+            config=task.config_name,
+            trace=task.trace.name,
+            components=list(meta["warmed"]),
+        )
+
+
 def _execute_serial(
     tasks: list[Task],
     telemetry: Telemetry,
@@ -156,7 +242,7 @@ def _execute_serial(
                 attempt=attempts,
             )
             try:
-                payload, elapsed = _run_one(task, trace_cache)
+                payload, elapsed, meta = _run_one(task, trace_cache)
             except Exception:
                 error = traceback.format_exc(limit=8)
                 final = attempts > max_retries
@@ -179,6 +265,7 @@ def _execute_serial(
                 telemetry.emit("task_retry", index=task.index, attempt=attempts + 1)
                 continue
             result = result_store.decode_result(payload)
+            _emit_meta_events(telemetry, task, meta)
             telemetry.emit(
                 "task_finish",
                 index=task.index,
@@ -186,10 +273,17 @@ def _execute_serial(
                 trace=task.trace.name,
                 elapsed_s=round(elapsed, 6),
                 mpki=result.mpki,
+                checkpoints=meta.get("checkpoints", 0),
             )
             _settle(
                 TaskOutcome(
-                    task=task, result=result, attempts=attempts, elapsed_s=elapsed
+                    task=task,
+                    result=result,
+                    attempts=attempts,
+                    elapsed_s=elapsed,
+                    resumed_from=meta.get("resumed_from"),
+                    checkpoints=meta.get("checkpoints", 0),
+                    warmed=tuple(meta.get("warmed", ())),
                 ),
                 outcomes,
                 on_outcome,
@@ -311,9 +405,10 @@ def _execute_parallel(
                 worker.current = None
                 worker.deadline = None
                 if message[0] == "done":
-                    _, index, payload, elapsed = message
+                    _, index, payload, elapsed, meta = message
                     settled_task = by_index[index]
                     result = result_store.decode_result(payload)
+                    _emit_meta_events(telemetry, settled_task, meta)
                     telemetry.emit(
                         "task_finish",
                         index=index,
@@ -321,6 +416,7 @@ def _execute_parallel(
                         trace=settled_task.trace.name,
                         elapsed_s=round(elapsed, 6),
                         mpki=result.mpki,
+                        checkpoints=meta.get("checkpoints", 0),
                     )
                     _settle(
                         TaskOutcome(
@@ -328,6 +424,9 @@ def _execute_parallel(
                             result=result,
                             attempts=attempts[index],
                             elapsed_s=elapsed,
+                            resumed_from=meta.get("resumed_from"),
+                            checkpoints=meta.get("checkpoints", 0),
+                            warmed=tuple(meta.get("warmed", ())),
                         ),
                         outcomes,
                         on_outcome,

@@ -1,0 +1,100 @@
+"""Content-addressed predictor-state store for campaign checkpointing.
+
+Mid-trace :class:`~repro.sim.metrics.SimCheckpoint` cuts are persisted
+under a *context key* — an arbitrary string naming what the state is a
+checkpoint *of*.  The engine uses two kinds of context:
+
+* the task fingerprint, for periodic mid-trace checkpoints: a killed or
+  crashed task resumes from ``latest(fingerprint)`` instead of replaying
+  the completed prefix, and
+* ``warm_context_key(source_fp, trace_identity, warmup)``, for warm
+  state shared between ablation variants: the first task to need the
+  source's warmed-up state computes and saves it, later tasks load it.
+
+Files are named ``<sha256(context_key)>@<position>.state.json`` and
+written atomically (tmp + rename), so concurrent workers racing to save
+the same deterministic checkpoint both produce the same bytes and the
+last rename wins harmlessly.  Corrupt entries (truncated writes, hash
+mismatches) are deleted on load and reported as a miss, mirroring the
+result store's purge-and-recompute policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.common.state import StateError
+from repro.sim.metrics import SimCheckpoint
+
+_SUFFIX = ".state.json"
+
+
+def warm_context_key(source_fp: str, trace_identity: str, warmup: int) -> str:
+    """Context key for a warm-share source state over one trace prefix."""
+    return f"warm|{source_fp}|{trace_identity}|{warmup}"
+
+
+class StateStore:
+    """On-disk checkpoint store keyed by (context key, branch position)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def _digest(context_key: str) -> str:
+        return hashlib.sha256(context_key.encode()).hexdigest()
+
+    def path_for(self, context_key: str, position: int) -> Path:
+        return self.root / f"{self._digest(context_key)}@{position}{_SUFFIX}"
+
+    def save(self, context_key: str, checkpoint: SimCheckpoint) -> Path:
+        """Atomically persist one checkpoint; returns its path."""
+        path = self.path_for(context_key, checkpoint.position)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(checkpoint.to_json()))
+        tmp.replace(path)
+        return path
+
+    def load(self, context_key: str, position: int) -> SimCheckpoint | None:
+        """Fetch one checkpoint, purging it if corrupt."""
+        return self._read(self.path_for(context_key, position))
+
+    def latest(
+        self, context_key: str, max_position: int | None = None
+    ) -> SimCheckpoint | None:
+        """The highest-position checkpoint saved for ``context_key``.
+
+        ``max_position`` bounds the search (exclusive of nothing — a
+        checkpoint *at* ``max_position`` is still returned), so a resume
+        over a truncated trace cannot pick a cut beyond its end.
+        """
+        prefix = self._digest(context_key) + "@"
+        best_position = -1
+        best_path: Path | None = None
+        if not self.root.is_dir():
+            return None
+        for path in self.root.glob(f"{prefix}*{_SUFFIX}"):
+            try:
+                position = int(path.name[len(prefix) : -len(_SUFFIX)])
+            except ValueError:
+                continue
+            if max_position is not None and position > max_position:
+                continue
+            if position > best_position:
+                best_position = position
+                best_path = path
+        if best_path is None:
+            return None
+        return self._read(best_path)
+
+    def _read(self, path: Path) -> SimCheckpoint | None:
+        if not path.exists():
+            return None
+        try:
+            return SimCheckpoint.from_json(json.loads(path.read_text()))
+        except (json.JSONDecodeError, StateError, ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None

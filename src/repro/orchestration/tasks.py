@@ -89,7 +89,15 @@ class TraceSpec:
 
 @dataclass(frozen=True)
 class Task:
-    """One (predictor, trace) cell of the campaign grid."""
+    """One (predictor, trace) cell of the campaign grid.
+
+    The checkpoint/resume fields ride on the task (rather than plan
+    state) because workers only ever see tasks: ``state_dir`` tells the
+    worker where the campaign's :class:`~repro.orchestration.statestore.
+    StateStore` lives, ``checkpoint_every`` how often to cut, and the
+    ``warm_*`` triple how to seed shared warm state from an ablation
+    source before simulating (see ``docs/state.md``).
+    """
 
     index: int
     config_name: str
@@ -97,6 +105,15 @@ class Task:
     trace: TraceSpec = field(compare=False)
     track_providers: bool = False
     fingerprint: str = ""
+    warmup_branches: int = 0
+    checkpoint_every: int | None = None
+    state_dir: str | None = None
+    #: Warm-share source: the context key its warmed state is stored
+    #: under, the factory that computes it on a cold store, and which
+    #: top-level payload components to transplant (None = all shared).
+    warm_key: str | None = None
+    warm_factory: PredictorFactory | None = field(default=None, compare=False)
+    warm_components: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -109,6 +126,13 @@ class TaskOutcome:
     attempts: int = 1
     elapsed_s: float = 0.0
     from_cache: bool = False
+    #: Absolute branch position a mid-trace checkpoint resumed from
+    #: (None when the task ran from the top of the trace).
+    resumed_from: int | None = None
+    #: Number of periodic checkpoints the run saved to the state store.
+    checkpoints: int = 0
+    #: Payload components transplanted from a warm-share source.
+    warmed: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:

@@ -23,7 +23,8 @@ from pathlib import Path
 from typing import Callable
 
 #: Bumped when an event kind gains/loses required fields.
-SCHEMA_VERSION = 1
+#: v2 added the checkpoint/resume kinds ``task_resume``/``warm_restore``.
+SCHEMA_VERSION = 2
 
 #: Required payload fields per event kind (beyond ``v``/``ts``/``event``).
 #: Extra fields are allowed; missing required fields are an error.
@@ -34,6 +35,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "task_finish": ("index", "config", "trace", "elapsed_s", "mpki"),
     "task_failed": ("index", "config", "trace", "attempt", "error"),
     "task_retry": ("index", "attempt"),
+    "task_resume": ("index", "config", "trace", "position"),
+    "warm_restore": ("index", "config", "trace", "components"),
     "cache_hit": ("index", "config", "trace", "fingerprint"),
     "cache_miss": ("index", "config", "trace", "fingerprint"),
     "cache_corrupt": ("path", "reason"),

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.bitops import is_power_of_two, mask
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 
@@ -103,3 +104,20 @@ class FilterPredictor(BranchPredictor):
     def storage_bits(self) -> int:
         filter_bits = self.filter_entries * (1 + self.saturation.bit_length())
         return self.pht_entries * 2 + self.history_bits + filter_bits
+
+    def _state_payload(self) -> dict:
+        return {
+            "pht": list(self._pht),
+            "history": self._history,
+            "filter": [[e.direction, e.count] for e in self._filter],
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("pht", "history", "filter"), "FilterPredictor")
+        expect_length(payload["pht"], self.pht_entries, "FilterPredictor.pht")
+        expect_length(payload["filter"], self.filter_entries, "FilterPredictor.filter")
+        self._pht = [int(v) for v in payload["pht"]]
+        self._history = int(payload["history"]) & mask(self.history_bits)
+        self._filter = [
+            _FilterEntry(direction=bool(d), count=int(c)) for d, c in payload["filter"]
+        ]

@@ -9,6 +9,7 @@ bias-free prediction — address).
 from __future__ import annotations
 
 from repro.common.bitops import is_power_of_two, mask
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 
@@ -55,3 +56,12 @@ class GShare(BranchPredictor):
 
     def storage_bits(self) -> int:
         return self.entries * 2 + self.history_bits
+
+    def _state_payload(self) -> dict:
+        return {"history": self._history, "table": list(self._table)}
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("history", "table"), "GShare")
+        expect_length(payload["table"], self.entries, "GShare.table")
+        self._history = int(payload["history"]) & self._history_mask
+        self._table = [int(v) for v in payload["table"]]

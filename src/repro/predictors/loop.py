@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.bitops import mix64
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 
@@ -128,6 +129,39 @@ class LoopPredictor:
         per_entry = self.tag_bits + 14 + 14 + 2 + 3 + 1
         return self.entries * per_entry
 
+    def snapshot(self) -> dict:
+        """All loop entries as flat field lists."""
+        return {
+            "table": [
+                [
+                    [e.tag, e.past_trip, e.current_trip, e.confidence, e.age, e.valid]
+                    for e in ways
+                ]
+                for ways in self._table
+            ]
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; geometry must match."""
+        expect_keys(state, ("table",), "LoopPredictor")
+        expect_length(state["table"], self.sets, "LoopPredictor.table")
+        for ways in state["table"]:
+            expect_length(ways, self.ways, "LoopPredictor.table[set]")
+        self._table = [
+            [
+                _LoopEntry(
+                    tag=int(tag),
+                    past_trip=int(past),
+                    current_trip=int(cur),
+                    confidence=int(conf),
+                    age=int(age),
+                    valid=bool(valid),
+                )
+                for tag, past, cur, conf, age, valid in ways
+            ]
+            for ways in state["table"]
+        ]
+
 
 class LoopOnly(BranchPredictor):
     """A standalone wrapper exposing the LC predictor through the common
@@ -150,3 +184,10 @@ class LoopOnly(BranchPredictor):
 
     def storage_bits(self) -> int:
         return self.loop.storage_bits()
+
+    def _state_payload(self) -> dict:
+        return {"loop": self.loop.snapshot()}
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("loop",), "LoopOnly")
+        self.loop.restore(payload["loop"])

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.bitops import is_power_of_two
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 _WEIGHT_MIN = -128
@@ -69,3 +70,24 @@ class GlobalPerceptron(BranchPredictor):
 
     def storage_bits(self) -> int:
         return self.rows * (self.history_length + 1) * 8 + self.history_length
+
+    def _state_payload(self) -> dict:
+        return {
+            "weights": self._weights.tolist(),
+            "history": self._history.tolist(),
+            "last_row": self._last_row,
+            "last_sum": self._last_sum,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(
+            payload, ("weights", "history", "last_row", "last_sum"), "GlobalPerceptron"
+        )
+        expect_length(payload["weights"], self.rows, "GlobalPerceptron.weights")
+        expect_length(
+            payload["history"], self.history_length, "GlobalPerceptron.history"
+        )
+        self._weights = np.array(payload["weights"], dtype=np.int32)
+        self._history = np.array(payload["history"], dtype=np.int32)
+        self._last_row = int(payload["last_row"])
+        self._last_sum = int(payload["last_sum"])

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.bitops import is_power_of_two
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 _WEIGHT_MIN = -128
@@ -108,6 +109,36 @@ class PiecewiseLinear(BranchPredictor):
         bias_bits = self.bias_entries * 8
         history_bits = self.history_length * (1 + 8)  # outcome + hashed path pc
         return weight_bits + bias_bits + history_bits
+
+    def _state_payload(self) -> dict:
+        return {
+            "weights": self._weights.tolist(),
+            "bias": self._bias.tolist(),
+            "history": self._history.tolist(),
+            "path": self._path.tolist(),
+            "last_sum": self._last_sum,
+            "last_row": self._last_row,
+            "last_bias_index": self._last_bias_index,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(
+            payload,
+            ("weights", "bias", "history", "path", "last_sum", "last_row",
+             "last_bias_index"),
+            "PiecewiseLinear",
+        )
+        expect_length(payload["weights"], self.pc_rows, "PiecewiseLinear.weights")
+        expect_length(payload["bias"], self.bias_entries, "PiecewiseLinear.bias")
+        expect_length(payload["history"], self.history_length, "PiecewiseLinear.history")
+        expect_length(payload["path"], self.history_length, "PiecewiseLinear.path")
+        self._weights = np.array(payload["weights"], dtype=np.int32)
+        self._bias = np.array(payload["bias"], dtype=np.int32)
+        self._history = np.array(payload["history"], dtype=np.int32)
+        self._path = np.array(payload["path"], dtype=np.int64)
+        self._last_sum = int(payload["last_sum"])
+        self._last_row = int(payload["last_row"])
+        self._last_bias_index = int(payload["last_bias_index"])
 
 
 def conventional_perceptron_64kb() -> PiecewiseLinear:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.bitops import is_power_of_two
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 _WEIGHT_MIN = -128
@@ -135,3 +136,40 @@ class ScaledNeural(BranchPredictor):
         bias_bits = self.bias_entries * 8
         history_bits = self.history_length * (1 + 16)
         return weight_bits + bias_bits + history_bits
+
+    def _state_payload(self) -> dict:
+        # _positions and _scale are derived constants (REPRO006 baseline
+        # exemptions); _last_sum is the analog accumulator, kept as float.
+        return {
+            "weights": self._weights.tolist(),
+            "bias": self._bias.tolist(),
+            "history": self._history.tolist(),
+            "path": self._path.tolist(),
+            "theta": self.theta,
+            "tc": self._tc,
+            "last_sum": self._last_sum,
+            "last_cols": self._last_cols.tolist(),
+            "last_bias_index": self._last_bias_index,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(
+            payload,
+            ("weights", "bias", "history", "path", "theta", "tc", "last_sum",
+             "last_cols", "last_bias_index"),
+            "ScaledNeural",
+        )
+        expect_length(payload["weights"], self.history_length, "ScaledNeural.weights")
+        expect_length(payload["bias"], self.bias_entries, "ScaledNeural.bias")
+        expect_length(payload["history"], self.history_length, "ScaledNeural.history")
+        expect_length(payload["path"], self.history_length, "ScaledNeural.path")
+        expect_length(payload["last_cols"], self.history_length, "ScaledNeural.last_cols")
+        self._weights = np.array(payload["weights"], dtype=np.int32)
+        self._bias = np.array(payload["bias"], dtype=np.int32)
+        self._history = np.array(payload["history"], dtype=np.int32)
+        self._path = np.array(payload["path"], dtype=np.int64)
+        self.theta = int(payload["theta"])
+        self._tc = int(payload["tc"])
+        self._last_sum = float(payload["last_sum"])
+        self._last_cols = np.array(payload["last_cols"], dtype=np.int64)
+        self._last_bias_index = int(payload["last_bias_index"])

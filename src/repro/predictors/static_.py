@@ -7,6 +7,7 @@ table doubles as TAGE's tagless base predictor component.
 from __future__ import annotations
 
 from repro.common.bitops import is_power_of_two
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 
 
@@ -26,6 +27,12 @@ class AlwaysTaken(BranchPredictor):
 
     def storage_bits(self) -> int:
         return 0
+
+    def _state_payload(self) -> dict:
+        return {}
+
+    def _restore_payload(self, payload: dict) -> None:
+        return None
 
 
 class Bimodal(BranchPredictor):
@@ -70,3 +77,11 @@ class Bimodal(BranchPredictor):
 
     def storage_bits(self) -> int:
         return self.entries * self.counter_bits
+
+    def _state_payload(self) -> dict:
+        return {"table": list(self._table)}
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(payload, ("table",), "Bimodal")
+        expect_length(payload["table"], self.entries, "Bimodal.table")
+        self._table = [int(v) for v in payload["table"]]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.common.bitops import is_power_of_two, mask
 from repro.common.histories import FoldedHistory
+from repro.common.state import expect_keys, expect_length
 
 
 class FoldedIndexSet:
@@ -33,6 +34,20 @@ class FoldedIndexSet:
         self.index_fold.update(incoming, outgoing)
         self.tag_fold_1.update(incoming, outgoing)
         self.tag_fold_2.update(incoming, outgoing)
+
+    def snapshot(self) -> list[int]:
+        """The three fold register values."""
+        return [
+            self.index_fold.snapshot(),
+            self.tag_fold_1.snapshot(),
+            self.tag_fold_2.snapshot(),
+        ]
+
+    def restore(self, state: list[int]) -> None:
+        expect_length(state, 3, "FoldedIndexSet")
+        self.index_fold.restore(state[0])
+        self.tag_fold_1.restore(state[1])
+        self.tag_fold_2.restore(state[2])
 
 
 class TaggedTable:
@@ -100,3 +115,20 @@ class TaggedTable:
 
     def storage_bits(self) -> int:
         return self.entries * (3 + self.tag_bits + 2)
+
+    def snapshot(self) -> dict:
+        """The three parallel entry arrays."""
+        return {
+            "ctr": list(self.ctr),
+            "tag": list(self.tag),
+            "useful": list(self.useful),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-install a :meth:`snapshot`; geometry must match."""
+        expect_keys(state, ("ctr", "tag", "useful"), "TaggedTable")
+        for field in ("ctr", "tag", "useful"):
+            expect_length(state[field], self.entries, f"TaggedTable.{field}")
+        self.ctr = [int(v) for v in state["ctr"]]
+        self.tag = [int(v) for v in state["tag"]]
+        self.useful = [int(v) for v in state["useful"]]

@@ -19,6 +19,7 @@ Components on top of :class:`~repro.predictors.tage.tage.Tage`:
 
 from __future__ import annotations
 
+from repro.common.state import PredictorState, expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 from repro.predictors.loop import LoopPredictor
 from repro.predictors.tage.tage import Tage, TageConfig
@@ -144,3 +145,48 @@ class ISLTage(BranchPredictor):
         if self.with_statistical_corrector:
             bits += len(self._sc) * 6
         return bits
+
+    def _state_payload(self) -> dict:
+        # The core is embedded as its own envelope so a BFTage snapshot
+        # can never be restored into a plain-Tage ISL overlay.
+        core = self.tage.snapshot()
+        return {
+            "tage": {"kind": core.kind, "version": core.version,
+                     "payload": core.payload},
+            "loop": self.loop.snapshot() if self.loop is not None else None,
+            "withloop": self._withloop,
+            "sc": list(self._sc),
+            "last_tage_pred": self._last_tage_pred,
+            "last_loop_pred": self._last_loop_pred,
+            "last_loop_valid": self._last_loop_valid,
+            "last_sc_index": self._last_sc_index,
+            "last_sc_used": self._last_sc_used,
+            "last_pred": self._last_pred,
+            "last_provider_name": self._last_provider_name,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(
+            payload,
+            ("tage", "loop", "withloop", "sc", "last_tage_pred", "last_loop_pred",
+             "last_loop_valid", "last_sc_index", "last_sc_used", "last_pred",
+             "last_provider_name"),
+            "ISLTage",
+        )
+        expect_length(payload["sc"], len(self._sc), "ISLTage.sc")
+        core = payload["tage"]
+        self.tage.restore(
+            PredictorState(kind=core["kind"], version=core["version"],
+                           payload=core["payload"])
+        )
+        if self.loop is not None:
+            self.loop.restore(payload["loop"])
+        self._withloop = int(payload["withloop"])
+        self._sc = [int(v) for v in payload["sc"]]
+        self._last_tage_pred = bool(payload["last_tage_pred"])
+        self._last_loop_pred = bool(payload["last_loop_pred"])
+        self._last_loop_valid = bool(payload["last_loop_valid"])
+        self._last_sc_index = int(payload["last_sc_index"])
+        self._last_sc_used = bool(payload["last_sc_used"])
+        self._last_pred = bool(payload["last_pred"])
+        self._last_provider_name = str(payload["last_provider_name"])

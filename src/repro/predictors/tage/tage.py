@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.common.bitops import mask
 from repro.common.rng import XorShift64
+from repro.common.state import expect_keys, expect_length
 from repro.predictors.base import BranchPredictor
 from repro.predictors.static_ import Bimodal
 from repro.predictors.tage.components import FoldedIndexSet, TaggedTable
@@ -327,3 +328,59 @@ class Tage(BranchPredictor):
         bits += self.config.history_lengths[-1]  # global history register
         bits += self.config.path_bits
         return bits
+
+    def _state_payload(self) -> dict:
+        return {
+            "base": self.base.snapshot().payload,
+            "tables": [table.snapshot() for table in self.tables],
+            "folds": [folds.snapshot() for folds in self._folds],
+            "history_buffer": list(self._history_buffer),
+            "history_head": self._history_head,
+            "path_history": self._path_history,
+            "rng": self._rng.snapshot(),
+            "use_alt_on_na": self._use_alt_on_na,
+            "branch_count": self._branch_count,
+            "last_indices": list(self._last_indices),
+            "last_tags": list(self._last_tags),
+            "last_provider": self._last_provider,
+            "last_alt": self._last_alt,
+            "last_provider_pred": self._last_provider_pred,
+            "last_alt_pred": self._last_alt_pred,
+            "last_pred": self._last_pred,
+            "last_weak_provider": self._last_weak_provider,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        expect_keys(
+            payload,
+            ("base", "tables", "folds", "history_buffer", "history_head",
+             "path_history", "rng", "use_alt_on_na", "branch_count",
+             "last_indices", "last_tags", "last_provider", "last_alt",
+             "last_provider_pred", "last_alt_pred", "last_pred",
+             "last_weak_provider"),
+            "Tage",
+        )
+        expect_length(payload["tables"], len(self.tables), "Tage.tables")
+        expect_length(payload["folds"], len(self._folds), "Tage.folds")
+        expect_length(
+            payload["history_buffer"], self._history_capacity, "Tage.history_buffer"
+        )
+        self.base._restore_payload(payload["base"])
+        for table, state in zip(self.tables, payload["tables"]):
+            table.restore(state)
+        for folds, state in zip(self._folds, payload["folds"]):
+            folds.restore(state)
+        self._history_buffer = [int(v) for v in payload["history_buffer"]]
+        self._history_head = int(payload["history_head"])
+        self._path_history = int(payload["path_history"])
+        self._rng.restore(payload["rng"])
+        self._use_alt_on_na = int(payload["use_alt_on_na"])
+        self._branch_count = int(payload["branch_count"])
+        self._last_indices = [int(v) for v in payload["last_indices"]]
+        self._last_tags = [int(v) for v in payload["last_tags"]]
+        self._last_provider = int(payload["last_provider"])
+        self._last_alt = int(payload["last_alt"])
+        self._last_provider_pred = bool(payload["last_provider_pred"])
+        self._last_alt_pred = bool(payload["last_alt_pred"])
+        self._last_pred = bool(payload["last_pred"])
+        self._last_weak_provider = bool(payload["last_weak_provider"])

@@ -1,8 +1,54 @@
-"""Simulation result records and aggregation helpers."""
+"""Simulation result records, checkpoints and aggregation helpers."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.common.state import PredictorState, StateError
+
+
+@dataclass(frozen=True)
+class SimCheckpoint:
+    """A mid-trace cut of one simulation: accumulated counters plus the
+    predictor's full state at an absolute branch position.
+
+    Feeding a checkpoint back through ``simulate(..., resume_from=...)``
+    continues the run bit-identically, so chained segments reproduce the
+    straight-through MPKI, provider hits and final state hash.
+    """
+
+    position: int
+    mispredictions: int
+    provider_hits: dict[str, int]
+    predictor_state: PredictorState
+    trace_name: str = ""
+
+    def state_hash(self) -> str:
+        return self.predictor_state.hash()
+
+    def to_json(self) -> dict:
+        return {
+            "position": self.position,
+            "mispredictions": self.mispredictions,
+            "provider_hits": dict(self.provider_hits),
+            "trace_name": self.trace_name,
+            "predictor_state": self.predictor_state.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SimCheckpoint":
+        if not isinstance(data, dict):
+            raise StateError(f"checkpoint must be a dict, got {type(data).__name__}")
+        missing = {"position", "mispredictions", "provider_hits", "predictor_state"} - set(data)
+        if missing:
+            raise StateError(f"checkpoint missing fields: {sorted(missing)}")
+        return cls(
+            position=int(data["position"]),
+            mispredictions=int(data["mispredictions"]),
+            provider_hits={str(k): int(v) for k, v in data["provider_hits"].items()},
+            predictor_state=PredictorState.from_json(data["predictor_state"]),
+            trace_name=str(data.get("trace_name", "")),
+        )
 
 
 @dataclass(frozen=True)
@@ -20,6 +66,10 @@ class SimulationResult:
     instructions: int
     mispredictions: int
     provider_hits: dict[str, int] = field(default_factory=dict)
+    #: Set only on segmented runs (``stop_after``/``resume_from``/
+    #: ``checkpoint_every``): the cut that continues this run.  Excluded
+    #: from equality so segmented and straight results compare equal.
+    checkpoint: SimCheckpoint | None = field(default=None, compare=False)
 
     @property
     def mpki(self) -> float:

@@ -4,6 +4,15 @@ Mirrors the CBP-4 discipline: for every committed conditional branch the
 predictor is asked for a direction, then immediately trained with the
 resolved outcome.  Mispredictions are counted and reported as MPKI over
 the trace's instruction count.
+
+The loop is segmentable: ``stop_after`` cuts a run at an absolute branch
+position and attaches a :class:`~repro.sim.metrics.SimCheckpoint` to the
+partial result, ``resume_from`` continues from such a cut, and
+``checkpoint_every`` streams periodic cuts to ``on_checkpoint`` (the
+campaign engine persists them in its state store).  The invariant —
+enforced by ``tests/test_state.py`` for every registered predictor — is
+that any chain of segments is bit-identical to a straight-through run:
+same MPKI, same provider hits, same final predictor state hash.
 """
 
 from __future__ import annotations
@@ -11,7 +20,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.predictors.base import BranchPredictor
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import SimCheckpoint, SimulationResult
 from repro.trace.records import Trace
 
 
@@ -21,45 +30,105 @@ def simulate(
     track_providers: bool = False,
     warmup_branches: int = 0,
     progress: Callable[[int], None] | None = None,
+    resume_from: SimCheckpoint | None = None,
+    stop_after: int | None = None,
+    checkpoint_every: int | None = None,
+    on_checkpoint: Callable[[SimCheckpoint], None] | None = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the result.
 
     ``warmup_branches`` predictions at the start train the predictor but
-    are excluded from the misprediction count (the paper's short traces
-    are measured cold, so experiments leave this at 0).
+    are excluded from the misprediction *and* provider counts (the
+    paper's short traces are measured cold, so experiments leave this
+    at 0).
 
     ``track_providers`` additionally records which component of the
     predictor supplied each prediction (needed only for Figure 12; it
     costs one attribute read per branch).
+
+    Segmentation parameters:
+
+    * ``resume_from`` — a checkpoint from an earlier segment of the same
+      trace; the predictor state is restored and counters continue from
+      its absolute position.
+    * ``stop_after`` — absolute branch position (exclusive) at which to
+      cut; the partial result carries ``result.checkpoint``.
+    * ``checkpoint_every`` / ``on_checkpoint`` — stream a checkpoint
+      every N absolute branches (positions are multiples of N regardless
+      of where the segment started, so resumed runs cut at the same
+      places a straight run would).
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
-
-    mispredictions = 0
-    provider_hits: dict[str, int] = {}
-    predict = predictor.predict
-    train = predictor.train
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
 
     pcs = trace.pcs
     outcomes = trace.outcomes
     total = len(pcs)
-    for position in range(total):
+
+    start = 0
+    mispredictions = 0
+    provider_hits: dict[str, int] = {}
+    if resume_from is not None:
+        if resume_from.trace_name and resume_from.trace_name != trace.name:
+            raise ValueError(
+                f"checkpoint was cut from trace {resume_from.trace_name!r}, "
+                f"cannot resume over {trace.name!r}"
+            )
+        if not 0 <= resume_from.position <= total:
+            raise ValueError(
+                f"checkpoint position {resume_from.position} outside trace "
+                f"of {total} branches"
+            )
+        predictor.restore(resume_from.predictor_state)
+        start = resume_from.position
+        mispredictions = resume_from.mispredictions
+        provider_hits = dict(resume_from.provider_hits)
+
+    end = total if stop_after is None else min(stop_after, total)
+    if end < start:
+        raise ValueError(f"stop_after={stop_after} is before resume position {start}")
+
+    def cut(position: int) -> SimCheckpoint:
+        return SimCheckpoint(
+            position=position,
+            mispredictions=mispredictions,
+            provider_hits=dict(provider_hits),
+            predictor_state=predictor.snapshot(),
+            trace_name=trace.name,
+        )
+
+    predict = predictor.predict
+    train = predictor.train
+    for position in range(start, end):
         pc = pcs[position]
         taken = outcomes[position]
         prediction = predict(pc)
-        if prediction != taken and position >= warmup_branches:
-            mispredictions += 1
-        if track_providers:
-            provider = predictor.provider
-            provider_hits[provider] = provider_hits.get(provider, 0) + 1
+        if position >= warmup_branches:
+            if prediction != taken:
+                mispredictions += 1
+            if track_providers:
+                provider = predictor.provider
+                provider_hits[provider] = provider_hits.get(provider, 0) + 1
         train(pc, taken)
         if progress is not None and position % 10000 == 0:
             progress(position)
+        if (
+            on_checkpoint is not None
+            and checkpoint_every is not None
+            and (position + 1) % checkpoint_every == 0
+            and position + 1 < total
+        ):
+            on_checkpoint(cut(position + 1))
 
-    measured = total - warmup_branches
+    measured = max(0, end - warmup_branches)
     instructions = trace.instruction_count
-    if warmup_branches and total:
+    if total and measured != total:
         instructions = max(1, round(instructions * measured / total))
+    segmented = (
+        resume_from is not None or stop_after is not None or checkpoint_every is not None
+    )
     return SimulationResult(
         trace_name=trace.name,
         predictor_name=predictor.name,
@@ -67,4 +136,5 @@ def simulate(
         instructions=instructions,
         mispredictions=mispredictions,
         provider_hits=provider_hits,
+        checkpoint=cut(end) if segmented else None,
     )

@@ -24,6 +24,19 @@ _MAGIC = b"BFBP"
 _VERSION = 1
 
 
+class TraceFormatError(ValueError):
+    """A trace file is not readable as the BFBP format.
+
+    Raised for a bad magic or an unknown format version byte; carries
+    the offending ``version`` (None for bad magic) so callers can tell
+    "not a trace file at all" from "a trace from a newer writer".
+    """
+
+    def __init__(self, message: str, version: int | None = None) -> None:
+        super().__init__(message)
+        self.version = version
+
+
 def _zigzag_encode(value: int) -> int:
     return (value << 1) ^ (value >> 63) if value < 0 else value << 1
 
@@ -91,10 +104,18 @@ def read_trace(path: str | Path) -> Trace:
     """Deserialize a trace previously written by :func:`write_trace`."""
     data = Path(path).read_bytes()
     if data[:4] != _MAGIC:
-        raise ValueError(f"{path}: not a BFBP trace file (bad magic)")
+        raise TraceFormatError(
+            f"{path}: not a BFBP trace file (bad magic {data[:4]!r})"
+        )
+    if len(data) < 5:
+        raise TraceFormatError(f"{path}: truncated BFBP header (no version byte)")
     version = data[4]
     if version != _VERSION:
-        raise ValueError(f"{path}: unsupported trace format version {version}")
+        raise TraceFormatError(
+            f"{path}: unsupported trace format version {version} "
+            f"(this reader understands version {_VERSION})",
+            version=version,
+        )
 
     meta_len = int.from_bytes(data[5:9], "little")
     meta_end = 9 + meta_len

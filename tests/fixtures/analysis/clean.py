@@ -35,3 +35,14 @@ class TidyPredictor(BranchPredictor):
 
     def reset(self) -> None:
         self.__init__(self.config)
+
+    def _state_payload(self) -> dict:
+        return {
+            "table": [counter.value for counter in self.table],
+            "age": self.age,
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        for counter, value in zip(self.table, payload["table"]):
+            counter.value = value
+        self.age = payload["age"]

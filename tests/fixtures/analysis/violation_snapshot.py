@@ -1,0 +1,51 @@
+"""REPRO006 fixture: mutable predictor state the snapshot misses."""
+
+from repro.core.base import BranchPredictor
+
+
+class NoSnapshot(BranchPredictor):  # REPRO006: mutable state, no snapshot
+    name = "no-snapshot"
+
+    def __init__(self) -> None:
+        self.table = [0] * 64
+
+    def predict(self, pc: int) -> bool:
+        return self.table[pc & 63] >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        self.table[pc & 63] = 1 if taken else -1
+
+    def storage_bits(self) -> int:
+        return 64 * 2
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class PartialSnapshot(BranchPredictor):
+    name = "partial-snapshot"
+
+    def __init__(self) -> None:
+        self.table = [0] * 64
+        self.shadow = {}  # REPRO006: not serialized below
+        self.history = 0  # immutable int: not REPRO006's business
+
+    def predict(self, pc: int) -> bool:
+        return self.table[pc & 63] >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        self.table[pc & 63] = 1 if taken else -1
+        self.shadow[pc] = taken
+
+    def storage_bits(self) -> int:
+        return 64 * 2
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def _state_payload(self) -> dict:
+        return {"table": list(self.table), "history": self.history}
+
+    def _restore_payload(self, payload: dict) -> None:
+        self.table = [int(v) for v in payload["table"]]
+        self.history = int(payload["history"])

@@ -74,6 +74,14 @@ class TestFixtures:
         for member in ("name", "storage_bits", "reset"):
             assert member in finding.message
 
+    def test_snapshot_fixture(self):
+        findings = lint_paths([FIXTURES / "violation_snapshot.py"])
+        assert [f.rule for f in findings] == ["REPRO006"] * 2
+        by_symbol = {f.symbol: f for f in findings}
+        assert set(by_symbol) == {"NoSnapshot", "PartialSnapshot.shadow"}
+        assert "no snapshot" in by_symbol["NoSnapshot"].message
+        assert "self.shadow" in by_symbol["PartialSnapshot.shadow"].message
+
     def test_clean_fixture(self):
         assert lint_paths([FIXTURES / "clean.py"]) == []
 
@@ -123,6 +131,41 @@ class TestRuleEdgeCases:
             "class Partial(BranchPredictor):\n"
             "    @abstractmethod\n"
             "    def flush(self): ...\n"
+        )
+        assert lint_source(code) == []
+
+    def test_snapshot_in_base_covers_subclass(self):
+        # A subclass whose chain serializes the attr is covered even when
+        # the _state_payload lives in the parent.
+        code = (
+            "from repro.core.base import BranchPredictor\n"
+            "class Base(BranchPredictor):\n"
+            "    name = 'b'\n"
+            "    def __init__(self): self.table = [0] * 8\n"
+            "    def predict(self, pc): return True\n"
+            "    def train(self, pc, taken): pass\n"
+            "    def storage_bits(self): return 0\n"
+            "    def reset(self): pass\n"
+            "    def _state_payload(self): return {'table': list(self.table)}\n"
+            "    def _restore_payload(self, p): self.table = list(p['table'])\n"
+            "class Child(Base):\n"
+            "    name = 'c'\n"
+        )
+        assert lint_source(code) == []
+
+    def test_config_construction_not_mutable_state(self):
+        # *Config construction is configuration, not snapshot-worthy state.
+        code = (
+            "from repro.core.base import BranchPredictor\n"
+            "class XConfig:\n"
+            "    pass\n"
+            "class P(BranchPredictor):\n"
+            "    name = 'p'\n"
+            "    def __init__(self): self.config = XConfig()\n"
+            "    def predict(self, pc): return True\n"
+            "    def train(self, pc, taken): pass\n"
+            "    def storage_bits(self): return 0\n"
+            "    def reset(self): pass\n"
         )
         assert lint_source(code) == []
 
@@ -259,7 +302,14 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+        for rule_id in (
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+        ):
             assert rule_id in out
 
     def test_write_baseline_then_clean(self, tmp_path, capsys):

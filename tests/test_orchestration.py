@@ -24,6 +24,7 @@ from repro.orchestration import (
     CampaignManifest,
     CampaignPlan,
     ResultStore,
+    StateStore,
     Telemetry,
     TraceSpec,
     make_event,
@@ -34,11 +35,15 @@ from repro.orchestration import (
     task_fingerprint,
     trace_content_fingerprint,
     validate_event,
+    warm_context_key,
 )
+from repro.orchestration.engine import build_tasks
 from repro.orchestration.manifest import STATUS_DONE, STATUS_FAILED
 from repro.predictors import AlwaysTaken, Bimodal, GShare
+from repro.sim import simulate
 from repro.sim.metrics import SimulationResult
 from repro.trace.records import Trace, TraceMetadata
+from repro.workloads import build_trace
 
 needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
@@ -97,6 +102,33 @@ class HangingPredictor(AlwaysTaken):
     def predict(self, pc: int) -> bool:
         while True:
             pass
+
+
+class CrashOncePredictor(Bimodal):
+    """Bimodal that dies once, mid-trace, while a marker file exists.
+
+    The marker is consumed by the crash, so the retry runs clean — the
+    shape of a transient mid-sweep fault (OOM kill, node preemption).
+    """
+
+    name = "crashy"
+
+    def __init__(self, marker: str, crash_at: int = 150) -> None:
+        super().__init__()
+        self.marker = marker
+        self.crash_at = crash_at
+        self.calls = 0
+
+    def predict(self, pc: int) -> bool:
+        self.calls += 1
+        if self.calls >= self.crash_at and Path(self.marker).exists():
+            Path(self.marker).unlink()
+            raise RuntimeError("injected mid-trace crash")
+        return super().predict(pc)
+
+
+def make_crashy(marker: str) -> CrashOncePredictor:
+    return CrashOncePredictor(marker)
 
 
 class TestFingerprint:
@@ -432,3 +464,189 @@ class TestCampaignCli:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestStateStore:
+    def checkpoint(self, position=100):
+        predictor = Bimodal()
+        trace = build_trace("FP1", 400)
+        return simulate(predictor, trace, stop_after=position).checkpoint
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = StateStore(tmp_path)
+        checkpoint = self.checkpoint()
+        path = store.save("ctx", checkpoint)
+        assert path.name.endswith("@100.state.json")
+        assert store.load("ctx", 100) == checkpoint
+
+    def test_latest_picks_highest_position(self, tmp_path):
+        store = StateStore(tmp_path)
+        for position in (100, 300, 200):
+            store.save("ctx", self.checkpoint(position))
+        assert store.latest("ctx").position == 300
+
+    def test_latest_respects_max_position(self, tmp_path):
+        store = StateStore(tmp_path)
+        for position in (100, 200, 300):
+            store.save("ctx", self.checkpoint(position))
+        assert store.latest("ctx", max_position=200).position == 200
+        assert store.latest("ctx", max_position=99) is None
+
+    def test_context_keys_isolated(self, tmp_path):
+        store = StateStore(tmp_path)
+        store.save("a", self.checkpoint())
+        assert store.latest("b") is None
+
+    def test_missing_root_is_a_miss(self, tmp_path):
+        assert StateStore(tmp_path / "never-created").latest("ctx") is None
+
+    def test_corrupt_entry_purged(self, tmp_path):
+        store = StateStore(tmp_path)
+        path = store.save("ctx", self.checkpoint())
+        path.write_text("{truncated")
+        assert store.load("ctx", 100) is None
+        assert not path.exists()
+
+    def test_tampered_state_purged(self, tmp_path):
+        store = StateStore(tmp_path)
+        path = store.save("ctx", self.checkpoint())
+        doc = json.loads(path.read_text())
+        doc["predictor_state"]["payload"]["table"][0] = 3
+        path.write_text(json.dumps(doc))
+        assert store.load("ctx", 100) is None
+        assert not path.exists()
+
+    def test_warm_context_key_discriminates(self):
+        base = warm_context_key("fp", "trace", 1000)
+        assert warm_context_key("fp2", "trace", 1000) != base
+        assert warm_context_key("fp", "trace2", 1000) != base
+        assert warm_context_key("fp", "trace", 2000) != base
+
+
+class TestCheckpointResume:
+    def plan(self, factory, state: Path, manifest: Path | None = None, **kwargs):
+        return CampaignPlan(
+            factories={"crashy": factory},
+            traces=[TraceSpec.suite("FP1", 400)],
+            state_dir=state,
+            checkpoint_every=100,
+            manifest_path=manifest,
+            **kwargs,
+        )
+
+    def test_killed_task_resumes_from_checkpoint(self, tmp_path):
+        """A task that dies mid-trace resumes its retry from the last cut,
+        and the resumed result is bit-identical to an uninterrupted run."""
+        marker = tmp_path / "marker"
+        marker.touch()
+        factory = partial(make_crashy, str(marker))
+
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        results = run_plan(
+            self.plan(
+                factory,
+                tmp_path / "state",
+                manifest=tmp_path / "manifest.json",
+                max_retries=1,
+            ),
+            telemetry,
+        )
+        kinds = [e["event"] for e in events]
+        assert "task_retry" in kinds
+        resume = next(e for e in events if e["event"] == "task_resume")
+        assert resume["position"] == 100  # the cut before the crash at ~150
+
+        record = next(
+            iter(
+                CampaignManifest.load(tmp_path / "manifest.json").records.values()
+            )
+        )
+        assert record.status == STATUS_DONE
+        assert record.resumed_from == 100
+        assert record.checkpoints >= 1
+
+        cold = run_plan(
+            CampaignPlan(
+                factories={"crashy": factory},
+                traces=[TraceSpec.suite("FP1", 400)],
+            )
+        )
+        assert results["crashy"][0] == cold["crashy"][0]
+
+    def test_prepopulated_store_resumes_without_failure(self, tmp_path):
+        """Checkpoints left by a killed campaign process (not just a failed
+        task) are picked up on the next run of the same plan."""
+        plan = self.plan(Bimodal, tmp_path / "state")
+        # Simulate the first 200 branches by hand and park the cut in the
+        # store under the exact fingerprint the engine will look up.
+        task = build_tasks(plan)[0]
+        trace = build_trace("FP1", 400)
+        cut = simulate(Bimodal(), trace, stop_after=200).checkpoint
+        StateStore(tmp_path / "state").save(task.fingerprint, cut)
+
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        results = run_plan(self.plan(Bimodal, tmp_path / "state"), telemetry)
+        resume = next(e for e in events if e["event"] == "task_resume")
+        assert resume["position"] == 200
+        assert results["crashy"][0] == run_plan(
+            CampaignPlan(factories={"b": Bimodal}, traces=[TraceSpec.suite("FP1", 400)])
+        )["b"][0]
+
+    def test_checkpoint_files_written(self, tmp_path):
+        run_plan(self.plan(Bimodal, tmp_path / "state"))
+        saved = sorted((tmp_path / "state").glob("*.state.json"))
+        assert len(saved) >= 3  # cuts at 100/200/300 for a ~400-branch trace
+
+
+class TestWarmShare:
+    def pair(self, state: Path, **kwargs):
+        return CampaignPlan(
+            factories={"src": GShare, "variant": GShare},
+            traces=[TraceSpec.suite("FP1", 500)],
+            state_dir=state,
+            warmup_branches=200,
+            warm_share={"variant": "src"},
+            **kwargs,
+        )
+
+    def test_variant_inherits_source_warm_state(self, tmp_path):
+        """An identically-configured variant seeded with the source's warm
+        state must reproduce the source's measured region exactly."""
+        events = []
+        telemetry = Telemetry(subscribers=(events.append,))
+        results = run_plan(self.pair(tmp_path / "state"), telemetry)
+        warm = next(e for e in events if e["event"] == "warm_restore")
+        assert warm["config"] == "variant"
+        assert "table" in warm["components"]
+        assert results["variant"][0] == results["src"][0]
+
+    def test_deterministic_across_cold_and_warm_store(self, tmp_path):
+        first = run_plan(self.pair(tmp_path / "a"))
+        # Second run against a store already holding the source state.
+        prewarmed = run_plan(self.pair(tmp_path / "a"))
+        cold = run_plan(self.pair(tmp_path / "b"))
+        assert first == prewarmed == cold
+
+    def test_warm_share_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="not in factories"):
+            CampaignPlan(
+                factories={"a": GShare},
+                traces=[TraceSpec.suite("FP1", 100)],
+                warmup_branches=50,
+                warm_share={"a": "ghost"},
+            )
+        with pytest.raises(ValueError, match="its own source"):
+            CampaignPlan(
+                factories={"a": GShare},
+                traces=[TraceSpec.suite("FP1", 100)],
+                warmup_branches=50,
+                warm_share={"a": "a"},
+            )
+        with pytest.raises(ValueError, match="warmup_branches"):
+            CampaignPlan(
+                factories={"a": GShare, "b": GShare},
+                traces=[TraceSpec.suite("FP1", 100)],
+                warm_share={"b": "a"},
+            )

@@ -81,14 +81,24 @@ class TestPositionalHistory:
             rs.tick()
         assert rs.distance_of(rs.find(0x10)) == 10
 
-    def test_snapshot_matches_entries(self):
+    def test_aph_view_matches_entries(self):
         rs = RecencyStack(depth=4)
         rs.record(0x10, True)
         rs.tick()
         rs.record(0x20, False)
-        snap = rs.snapshot()
+        snap = rs.aph_view()
         assert snap[0] == (0x20, 0, False)
         assert snap[1] == (0x10, 1, True)
+
+    def test_snapshot_restore_roundtrip(self):
+        rs = RecencyStack(depth=4, position_cap=10)
+        for pc in (0x10, 0x20, 0x30):
+            rs.record(pc, pc == 0x20)
+            rs.tick()
+        other = RecencyStack(depth=4, position_cap=10)
+        other.restore(rs.snapshot())
+        assert other.aph_view() == rs.aph_view()
+        assert other.snapshot() == rs.snapshot()
 
 
 class TestDedupFlag:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import TraceFormatError, read_trace, write_trace
 from repro.trace.records import Trace, TraceMetadata
 
 
@@ -66,13 +66,28 @@ class TestFormatErrors:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad.bfbp"
         path.write_bytes(b"NOPE" + b"\x00" * 20)
-        with pytest.raises(ValueError, match="magic"):
+        with pytest.raises(TraceFormatError, match="magic") as excinfo:
             read_trace(path)
+        assert excinfo.value.version is None
 
     def test_bad_version(self, tmp_path):
         path = tmp_path / "bad.bfbp"
         path.write_bytes(b"BFBP\xff" + b"\x00" * 20)
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(TraceFormatError, match="version 255") as excinfo:
+            read_trace(path)
+        assert excinfo.value.version == 255
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.bfbp"
+        path.write_bytes(b"BFBP")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_trace(path)
+
+    def test_format_error_is_value_error(self, tmp_path):
+        # Existing callers catching ValueError keep working.
+        path = tmp_path / "bad.bfbp"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError):
             read_trace(path)
 
 
