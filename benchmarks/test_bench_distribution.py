@@ -1,0 +1,87 @@
+"""Benchmark: distributed campaign throughput vs the serial baseline.
+
+Runs the same predictor × trace grid twice — once through ``run_plan``
+with ``jobs=1`` and once through a localhost coordinator drained by two
+executor processes — and records both wall-clocks plus the distribution
+overhead ratio in the usual BENCH json.  The assertion is bit-identity,
+not speedup: on a single box two executors mostly measure protocol and
+process overhead, and the grid here is deliberately small enough that
+the benchmark stays in the seconds range.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.orchestration import CampaignPlan, TraceSpec, run_plan
+from repro.orchestration.distserver import Coordinator
+from repro.orchestration.remote import run_executor
+from repro.orchestration.telemetry import monotonic
+from repro.predictors import Bimodal, GShare
+
+BENCH_TRACES = ["FP1", "INT1", "MM1", "SERV1"]
+BENCH_BRANCHES = 3_000
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="executor processes rely on the fork start method",
+)
+
+
+def bench_registry():
+    return {"bimodal": Bimodal, "gshare": GShare}
+
+
+REGISTRY_REF = "benchmarks.test_bench_distribution:bench_registry"
+
+
+def bench_plan(store_dir=None) -> CampaignPlan:
+    return CampaignPlan(
+        factories=bench_registry(),
+        traces=[TraceSpec.suite(name, BENCH_BRANCHES) for name in BENCH_TRACES],
+        store_dir=store_dir,
+        manifest_path=store_dir / "manifest.json" if store_dir else None,
+    )
+
+
+def _executor_main(address):
+    run_executor(address, registry_ref=REGISTRY_REF, poll_interval=0.05)
+
+
+def distributed_run(store_dir, executors=2):
+    coordinator = Coordinator(
+        bench_plan(store_dir), registry_ref=REGISTRY_REF, linger_s=2.0
+    )
+    thread = coordinator.serve_background()
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_executor_main, args=(coordinator.address,), daemon=True)
+        for _ in range(executors)
+    ]
+    for worker in workers:
+        worker.start()
+    thread.join(timeout=300)
+    for worker in workers:
+        worker.join(timeout=30)
+    return coordinator.results
+
+
+@needs_fork
+def test_distributed_vs_serial(benchmark, tmp_path):
+    started = monotonic()
+    serial = run_plan(bench_plan())
+    serial_s = monotonic() - started
+
+    started = monotonic()
+    distributed = benchmark.pedantic(
+        distributed_run, args=(tmp_path / "dist",), rounds=1, iterations=1
+    )
+    distributed_s = monotonic() - started
+
+    assert distributed == serial  # bit-identical across the socket boundary
+    overhead = distributed_s / serial_s if serial_s > 0 else float("inf")
+    benchmark.extra_info["executors"] = 2
+    benchmark.extra_info["tasks"] = len(BENCH_TRACES) * 2
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["distributed_s"] = round(distributed_s, 3)
+    benchmark.extra_info["overhead_ratio"] = round(overhead, 3)

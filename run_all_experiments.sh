@@ -39,4 +39,21 @@ python3 -m repro campaign SPEC02 SPEC08 SERV3 --predictors bf-neural bf-tage10 \
 # checkouts can check bit-identity of the whole simulation stack.
 python3 -m repro state hash --predictor gshare --trace SPEC02 \
     > results/state-hash.txt
+# Distribution stage: the same grid served by a loopback coordinator and
+# drained by two executor processes (docs/distribution.md). The shared
+# content-addressed store means this is a pure cache replay when the
+# campaign stages above already ran; kill -9 any worker mid-run and the
+# lease returns to the queue.
+python3 -m repro campaign serve SPEC02 SERV3 --predictors bf-neural bf-tage10 \
+    --checkpoint-every 10000 --lease-ttl 60 \
+    --telemetry results/distributed-telemetry.jsonl \
+    --output results/distributed.txt --quiet > results/distributed-serve.log &
+SERVE_PID=$!
+until ADDRESS=$(grep -om1 '[0-9.]*:[0-9]*$' results/distributed-serve.log); do
+    kill -0 "$SERVE_PID" || { echo DISTRIBUTED_SERVE_FAILED; exit 1; }
+    sleep 0.2
+done
+python3 -m repro campaign work --connect "$ADDRESS" --executor-id stage-ex0 --quiet &
+python3 -m repro campaign work --connect "$ADDRESS" --executor-id stage-ex1 --quiet &
+wait
 echo ALL_EXPERIMENTS_DONE

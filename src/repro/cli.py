@@ -8,7 +8,11 @@ Subcommands:
 * ``simulate``  — run predictors over traces and print MPKI.
 * ``campaign``  — run a predictor × trace grid through the orchestration
   engine: parallel workers, content-addressed caching, manifest
-  checkpoint/resume and JSONL telemetry.
+  checkpoint/resume and JSONL telemetry.  ``campaign serve`` exposes the
+  same grid to remote executors over the lease-based distribution
+  protocol and ``campaign work --connect HOST:PORT`` drains it (see
+  ``docs/distribution.md``); a bare ``campaign ...`` is shorthand for
+  ``campaign run ...``.
 * ``state``     — dump, hash and diff predictor state snapshots (the
   versioned snapshot/restore protocol of ``docs/state.md``).
 * ``diagnose``  — attribute mispredictions to static branches.
@@ -163,14 +167,9 @@ def _progress_printer():
     return printer
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.orchestration import (
-        CampaignError,
-        CampaignPlan,
-        Telemetry,
-        run_plan,
-    )
-    from repro.sim.metrics import aggregate_mpki
+def _campaign_plan(args: argparse.Namespace, jobs: int = 1):
+    """Shared plan construction for ``campaign run`` and ``campaign serve``."""
+    from repro.orchestration import CampaignPlan
 
     if not args.traces:
         args.traces = trace_names(args.categories)
@@ -184,12 +183,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         state_dir = store_dir / "state"
     if args.checkpoint_every and state_dir is None:
         raise SystemExit("--checkpoint-every requires --state-dir or --cache-dir")
-    plan = CampaignPlan(
+    return CampaignPlan(
         factories=factories,
         traces=specs,
         store_dir=store_dir,
-        jobs=args.jobs,
-        task_timeout=args.timeout,
+        jobs=jobs,
+        task_timeout=getattr(args, "timeout", None),
         max_retries=args.retries,
         manifest_path=Path(manifest_path) if manifest_path else None,
         allow_failures=True,
@@ -197,31 +196,97 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         warmup_branches=args.warmup,
     )
-    total = len(factories) * len(specs)
+
+
+def _campaign_report(args: argparse.Namespace, results: dict, telemetry) -> int:
+    """Print (and optionally save) the per-predictor summary; count fails."""
+    from repro.sim.metrics import aggregate_mpki
+
+    total = sum(len(per_trace) for per_trace in results.values())
+    failed = sum(1 for per_trace in results.values() for r in per_trace if r is None)
+    lines = [f"{'predictor':16s} {'traces':>7s} {'avg MPKI':>9s}"]
+    for name, per_trace in results.items():
+        ok = [r for r in per_trace if r is not None]
+        avg = f"{aggregate_mpki(ok):9.3f}" if ok else f"{'--':>9s}"
+        lines.append(f"{name:16s} {len(ok):7d} {avg}")
+    lines.append(
+        f"{telemetry.done}/{total} tasks ({telemetry.cache_hits} cached, "
+        f"{failed} failed) in {telemetry.elapsed_s():.1f}s"
+    )
+    report = "\n".join(lines)
+    print(report)
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(report + "\n")
+    return failed
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.orchestration import CampaignError, Telemetry, run_plan
+
+    plan = _campaign_plan(args, jobs=args.jobs)
     subscribers = () if args.quiet else (_progress_printer(),)
     with Telemetry(jsonl_path=args.telemetry, subscribers=subscribers) as telemetry:
         try:
             results = run_plan(plan, telemetry)
         except CampaignError as exc:  # pragma: no cover - allow_failures=True
             raise SystemExit(str(exc))
-        failed = sum(
-            1 for per_trace in results.values() for r in per_trace if r is None
-        )
-        lines = [f"{'predictor':16s} {'traces':>7s} {'avg MPKI':>9s}"]
-        for name, per_trace in results.items():
-            ok = [r for r in per_trace if r is not None]
-            avg = f"{aggregate_mpki(ok):9.3f}" if ok else f"{'--':>9s}"
-            lines.append(f"{name:16s} {len(ok):7d} {avg}")
-        lines.append(
-            f"{telemetry.done}/{total} tasks ({telemetry.cache_hits} cached, "
-            f"{failed} failed) in {telemetry.elapsed_s():.1f}s"
-        )
-        report = "\n".join(lines)
-        print(report)
-        if args.output:
-            Path(args.output).parent.mkdir(parents=True, exist_ok=True)
-            Path(args.output).write_text(report + "\n")
+        failed = _campaign_report(args, results, telemetry)
     return 1 if failed else 0
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.orchestration import CampaignError, Telemetry
+    from repro.orchestration.distserver import Coordinator
+
+    plan = _campaign_plan(args)
+    subscribers = () if args.quiet else (_progress_printer(),)
+    with Telemetry(jsonl_path=args.telemetry, subscribers=subscribers) as telemetry:
+        coordinator = Coordinator(
+            plan,
+            registry_ref=args.registry,
+            host=args.host,
+            port=args.port,
+            lease_ttl=args.lease_ttl,
+            telemetry=telemetry,
+        )
+        host, port = coordinator.address
+        total = len(coordinator.tasks)
+        print(f"serving {total} tasks on {host}:{port}", flush=True)
+        try:
+            results = coordinator.serve()
+        except CampaignError as exc:  # pragma: no cover - allow_failures=True
+            raise SystemExit(str(exc))
+        failed = _campaign_report(args, results, telemetry)
+    return 1 if failed else 0
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    from repro.orchestration import ProtocolError, Telemetry, run_executor
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not port_text.isdigit():
+        raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
+    address = (host or "127.0.0.1", int(port_text))
+    subscribers = () if args.quiet else (_progress_printer(),)
+    with Telemetry(jsonl_path=args.telemetry, subscribers=subscribers) as telemetry:
+        try:
+            stats = run_executor(
+                address,
+                registry_ref=args.registry,
+                executor_id=args.executor_id,
+                telemetry=telemetry,
+                poll_interval=args.poll,
+                connect_timeout=args.connect_timeout,
+                max_tasks=args.max_tasks,
+            )
+        except (OSError, ConnectionError, ProtocolError) as exc:
+            raise SystemExit(f"executor failed: {exc}")
+    print(
+        f"executor {stats.executor_id}: {stats.completed} completed, "
+        f"{stats.failed} failed, {stats.refused} refused"
+    )
+    return 0 if not stats.failed and not stats.refused else 1
 
 
 def _trained_predictor(args: argparse.Namespace):
@@ -375,57 +440,137 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser(
         "campaign",
         help="run a predictor × trace grid: parallel workers, "
-        "content-addressed cache, checkpoint/resume, telemetry",
+        "content-addressed cache, checkpoint/resume, telemetry; "
+        "'serve'/'work' distribute the grid over the lease protocol",
     )
-    p_camp.add_argument(
-        "traces", nargs="*", help="suite names or .bfbp files (default: full suite)"
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def add_grid_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "traces",
+            nargs="*",
+            help="suite names or .bfbp files (default: full suite)",
+        )
+        parser.add_argument("--categories", nargs="*", default=None)
+        parser.add_argument("--predictors", nargs="+", default=["bf-neural"])
+        parser.add_argument("--branches", type=int, default=None)
+        parser.add_argument(
+            "--cache-dir",
+            default=".bfbp-cache",
+            help="content-addressed result store ('' disables caching)",
+        )
+        parser.add_argument(
+            "--manifest",
+            default=None,
+            help="checkpoint manifest path "
+            "(default: <cache-dir>/campaign-manifest.json)",
+        )
+        parser.add_argument(
+            "--telemetry",
+            default=None,
+            help="append JSONL telemetry events to this file",
+        )
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            help="retries per task on crash/timeout/lease expiry",
+        )
+        parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            help="save mid-trace state checkpoints every N branches",
+        )
+        parser.add_argument(
+            "--state-dir",
+            default=None,
+            help="state store directory (default: <cache-dir>/state when "
+            "--checkpoint-every is set)",
+        )
+        parser.add_argument(
+            "--warmup",
+            type=int,
+            default=0,
+            help="warmup branches excluded from the measured counts",
+        )
+        parser.add_argument(
+            "--output", default=None, help="also write the report here"
+        )
+        parser.add_argument(
+            "--quiet", action="store_true", help="suppress live progress"
+        )
+
+    p_camp_run = camp_sub.add_parser(
+        "run", help="execute the grid locally (the default mode)"
     )
-    p_camp.add_argument("--categories", nargs="*", default=None)
-    p_camp.add_argument("--predictors", nargs="+", default=["bf-neural"])
-    p_camp.add_argument("--branches", type=int, default=None)
-    p_camp.add_argument(
+    add_grid_args(p_camp_run)
+    p_camp_run.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = serial)"
     )
-    p_camp.add_argument(
-        "--cache-dir",
-        default=".bfbp-cache",
-        help="content-addressed result store ('' disables caching)",
-    )
-    p_camp.add_argument(
-        "--manifest",
-        default=None,
-        help="checkpoint manifest path (default: <cache-dir>/campaign-manifest.json)",
-    )
-    p_camp.add_argument(
-        "--telemetry", default=None, help="append JSONL telemetry events to this file"
-    )
-    p_camp.add_argument(
+    p_camp_run.add_argument(
         "--timeout", type=float, default=None, help="per-task timeout in seconds"
     )
-    p_camp.add_argument(
-        "--retries", type=int, default=1, help="retries per task on crash/timeout"
+    p_camp_run.set_defaults(fn=_cmd_campaign)
+
+    p_camp_serve = camp_sub.add_parser(
+        "serve",
+        help="coordinate the grid for remote executors (lease-based "
+        "work stealing over a JSON socket protocol)",
     )
-    p_camp.add_argument(
-        "--checkpoint-every",
-        type=int,
+    add_grid_args(p_camp_serve)
+    p_camp_serve.add_argument("--host", default="127.0.0.1")
+    p_camp_serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = pick a free one)"
+    )
+    p_camp_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds an unrenewed lease survives before re-queueing",
+    )
+    p_camp_serve.add_argument(
+        "--registry",
+        default="repro.orchestration.registry:standard_registry",
+        help="module:callable executors resolve config names against",
+    )
+    p_camp_serve.set_defaults(fn=_cmd_campaign_serve)
+
+    p_camp_work = camp_sub.add_parser(
+        "work", help="drain leases from a campaign coordinator"
+    )
+    p_camp_work.add_argument(
+        "--connect", required=True, help="coordinator address HOST:PORT"
+    )
+    p_camp_work.add_argument(
+        "--executor-id", default=None, help="name in telemetry/attribution"
+    )
+    p_camp_work.add_argument(
+        "--registry",
+        default="repro.orchestration.registry:standard_registry",
+        help="module:callable to resolve config names against",
+    )
+    p_camp_work.add_argument(
+        "--poll", type=float, default=0.25, help="idle claim retry interval"
+    )
+    p_camp_work.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    p_camp_work.add_argument(
+        "--max-tasks", type=int, default=None, help="stop after N tasks"
+    )
+    p_camp_work.add_argument(
+        "--telemetry",
         default=None,
-        help="save mid-trace state checkpoints every N branches",
+        help="append executor-local JSONL telemetry events to this file",
     )
-    p_camp.add_argument(
-        "--state-dir",
-        default=None,
-        help="state store directory (default: <cache-dir>/state when "
-        "--checkpoint-every is set)",
+    p_camp_work.add_argument(
+        "--quiet", action="store_true", help="suppress live progress"
     )
-    p_camp.add_argument(
-        "--warmup",
-        type=int,
-        default=0,
-        help="warmup branches excluded from the measured counts",
-    )
-    p_camp.add_argument("--output", default=None, help="also write the report here")
-    p_camp.add_argument("--quiet", action="store_true", help="suppress live progress")
-    p_camp.set_defaults(fn=_cmd_campaign)
+    p_camp_work.set_defaults(fn=_cmd_campaign_work)
 
     p_state = sub.add_parser(
         "state", help="dump, hash and diff predictor state snapshots"
@@ -472,9 +617,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """``campaign <grid args>`` is shorthand for ``campaign run ...``.
+
+    Keeps every pre-distribution invocation (``repro campaign FP1
+    --jobs 4``) working while ``campaign serve``/``campaign work`` get
+    proper subcommands.
+    """
+    if argv and argv[0] == "campaign":
+        if len(argv) == 1 or argv[1] not in ("run", "serve", "work"):
+            return ["campaign", "run", *argv[1:]]
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_normalize_argv(list(argv)))
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -16,6 +16,7 @@ simulate``/``repro campaign``, the benchmarks — runs through
   ``docs/orchestration.md`` for the schema).
 """
 
+from repro.orchestration.distserver import Coordinator, serve_campaign
 from repro.orchestration.engine import CampaignError, CampaignPlan, run_plan
 from repro.orchestration.fingerprint import (
     predictor_fingerprint,
@@ -24,6 +25,15 @@ from repro.orchestration.fingerprint import (
 )
 from repro.orchestration.manifest import CampaignManifest, campaign_id_of
 from repro.orchestration.registry import standard_registry, trace_spec_for
+from repro.orchestration.remote import (
+    DEFAULT_REGISTRY,
+    ProtocolError,
+    VersionSkewError,
+    decode_task,
+    encode_task,
+    resolve_registry,
+    run_executor,
+)
 from repro.orchestration.statestore import StateStore, warm_context_key
 from repro.orchestration.store import ResultStore
 from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
@@ -39,19 +49,28 @@ __all__ = [
     "CampaignError",
     "CampaignManifest",
     "CampaignPlan",
+    "Coordinator",
+    "DEFAULT_REGISTRY",
     "EVENT_FIELDS",
     "PredictorFactory",
+    "ProtocolError",
     "ResultStore",
     "StateStore",
     "Task",
     "TaskOutcome",
     "Telemetry",
     "TraceSpec",
+    "VersionSkewError",
     "campaign_id_of",
+    "decode_task",
+    "encode_task",
     "make_event",
     "predictor_fingerprint",
     "read_events",
+    "resolve_registry",
+    "run_executor",
     "run_plan",
+    "serve_campaign",
     "standard_registry",
     "task_fingerprint",
     "trace_content_fingerprint",

@@ -140,6 +140,87 @@ def _picklable(tasks: list[Task]) -> bool:
         return False
 
 
+def open_manifest(
+    plan: CampaignPlan, tasks: list[Task], telemetry: Telemetry
+) -> CampaignManifest | None:
+    """Open (or resume) the plan's manifest, announcing any resume."""
+    if plan.manifest_path is None:
+        return None
+    manifest = CampaignManifest.begin(plan.manifest_path, tasks)
+    counts = manifest.counts()
+    if counts[STATUS_DONE] or counts["failed"]:
+        telemetry.emit(
+            "manifest_resume",
+            done=counts[STATUS_DONE],
+            failed=counts["failed"],
+            pending=counts["pending"],
+        )
+    return manifest
+
+
+def settle_from_cache(
+    tasks: list[Task],
+    store: ResultStore | None,
+    manifest: CampaignManifest | None,
+    telemetry: Telemetry,
+) -> tuple[dict[int, TaskOutcome], list[Task]]:
+    """Settle every task the store already answers; return the rest.
+
+    Shared by the in-process engine and the distributed coordinator so
+    both serve cache hits identically before any simulation is
+    scheduled or leased out.
+    """
+    settled: dict[int, TaskOutcome] = {}
+    to_run: list[Task] = []
+    for task in tasks:
+        cached = (
+            store.load(task.fingerprint, require_providers=task.track_providers)
+            if store is not None
+            else None
+        )
+        if cached is not None:
+            telemetry.emit(
+                "cache_hit",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                fingerprint=task.fingerprint,
+            )
+            settled[task.index] = TaskOutcome(
+                task=task, result=cached, attempts=0, from_cache=True
+            )
+            if manifest is not None and manifest.status_of(task.fingerprint) != STATUS_DONE:
+                manifest.mark_done(task, attempts=0)
+            continue
+        if store is not None:
+            telemetry.emit(
+                "cache_miss",
+                index=task.index,
+                config=task.config_name,
+                trace=task.trace.name,
+                fingerprint=task.fingerprint,
+            )
+        to_run.append(task)
+    return settled, to_run
+
+
+def assemble_results(
+    plan: CampaignPlan, settled: dict[int, TaskOutcome]
+) -> dict[str, list[SimulationResult]]:
+    """``{config_name: [result per trace, in trace order]}`` — the
+    bit-identical assembly every execution path (serial, process pool,
+    distributed) funnels through."""
+    results: dict[str, list[SimulationResult]] = {}
+    index = 0
+    for config_name in plan.factories:
+        per_trace: list[SimulationResult | None] = []
+        for _ in plan.trace_specs:
+            per_trace.append(settled[index].result)
+            index += 1
+        results[config_name] = per_trace
+    return results
+
+
 def _verbose_printer(event: dict) -> None:
     if event["event"] == "task_finish":
         print(
@@ -179,54 +260,8 @@ def run_plan(
     store = (
         ResultStore(plan.store_dir, telemetry) if plan.store_dir is not None else None
     )
-    manifest = (
-        CampaignManifest.begin(plan.manifest_path, tasks)
-        if plan.manifest_path is not None
-        else None
-    )
-    if manifest is not None:
-        counts = manifest.counts()
-        if counts[STATUS_DONE] or counts["failed"]:
-            telemetry.emit(
-                "manifest_resume",
-                done=counts[STATUS_DONE],
-                failed=counts["failed"],
-                pending=counts["pending"],
-            )
-
-    # Cache pass: settle every task the store already answers.
-    settled: dict[int, TaskOutcome] = {}
-    to_run: list[Task] = []
-    for task in tasks:
-        cached = (
-            store.load(task.fingerprint, require_providers=task.track_providers)
-            if store is not None
-            else None
-        )
-        if cached is not None:
-            telemetry.emit(
-                "cache_hit",
-                index=task.index,
-                config=task.config_name,
-                trace=task.trace.name,
-                fingerprint=task.fingerprint,
-            )
-            settled[task.index] = TaskOutcome(
-                task=task, result=cached, attempts=0, from_cache=True
-            )
-            if manifest is not None and manifest.status_of(task.fingerprint) != STATUS_DONE:
-                manifest.mark_done(task, attempts=0)
-            continue
-        if store is not None:
-            telemetry.emit(
-                "cache_miss",
-                index=task.index,
-                config=task.config_name,
-                trace=task.trace.name,
-                fingerprint=task.fingerprint,
-            )
-        to_run.append(task)
-
+    manifest = open_manifest(plan, tasks, telemetry)
+    settled, to_run = settle_from_cache(tasks, store, manifest, telemetry)
     total = len(tasks)
 
     def on_outcome(outcome: TaskOutcome) -> None:
@@ -279,12 +314,4 @@ def run_plan(
     if failures and not plan.allow_failures:
         raise CampaignError(sorted(failures, key=lambda o: o.task.index))
 
-    results: dict[str, list[SimulationResult]] = {}
-    index = 0
-    for config_name in plan.factories:
-        per_trace: list[SimulationResult | None] = []
-        for _ in plan.trace_specs:
-            per_trace.append(settled[index].result)
-            index += 1
-        results[config_name] = per_trace
-    return results
+    return assemble_results(plan, settled)

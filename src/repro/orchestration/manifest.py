@@ -27,9 +27,10 @@ STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 
 #: v2 added the per-task checkpoint fields (``resumed_from``,
-#: ``checkpoints``); v1 manifests load with those fields defaulted, so
-#: an interrupted pre-v2 sweep still resumes.
-MANIFEST_VERSION = 2
+#: ``checkpoints``); v3 added ``executor`` attribution for distributed
+#: campaigns.  Older manifests load with the newer fields defaulted, so
+#: an interrupted pre-v3 sweep still resumes.
+MANIFEST_VERSION = 3
 
 
 def campaign_id_of(tasks: list[Task]) -> str:
@@ -51,6 +52,9 @@ class TaskRecord:
     resumed_from: int | None = None
     #: Mid-trace checkpoints the run saved to the state store.
     checkpoints: int = 0
+    #: Executor that settled the task in a distributed campaign
+    #: (None = settled locally by the in-process engine).
+    executor: str | None = None
 
     def to_dict(self) -> dict:
         payload = {
@@ -65,6 +69,8 @@ class TaskRecord:
             payload["resumed_from"] = self.resumed_from
         if self.checkpoints:
             payload["checkpoints"] = self.checkpoints
+        if self.executor is not None:
+            payload["executor"] = self.executor
         return payload
 
 
@@ -93,6 +99,7 @@ class CampaignManifest:
                     error=item.get("error"),
                     resumed_from=item.get("resumed_from"),
                     checkpoints=item.get("checkpoints", 0),
+                    executor=item.get("executor"),
                 )
                 for fingerprint, item in data["tasks"].items()
             }
@@ -134,6 +141,7 @@ class CampaignManifest:
         attempts: int,
         resumed_from: int | None = None,
         checkpoints: int = 0,
+        executor: str | None = None,
     ) -> None:
         record = self.records[task.fingerprint]
         record.status = STATUS_DONE
@@ -141,13 +149,21 @@ class CampaignManifest:
         record.error = None
         record.resumed_from = resumed_from
         record.checkpoints = checkpoints
+        record.executor = executor
         self.save()
 
-    def mark_failed(self, task: Task, attempts: int, error: str) -> None:
+    def mark_failed(
+        self,
+        task: Task,
+        attempts: int,
+        error: str,
+        executor: str | None = None,
+    ) -> None:
         record = self.records[task.fingerprint]
         record.status = STATUS_FAILED
         record.attempts = attempts
         record.error = error
+        record.executor = executor
         self.save()
 
     def counts(self) -> dict[str, int]:

@@ -1,0 +1,393 @@
+"""Executor side of the multi-host campaign distribution layer.
+
+A *coordinator* (:mod:`repro.orchestration.distserver`) serves
+lease-based task claims from a campaign manifest over a length-prefixed
+JSON socket protocol; this module implements the wire format and the
+executor loop that drains it.  An executor connects, introduces itself,
+then loops: claim a lease, run the task through the existing scheduler
+(checkpoints stream into the shared :class:`~repro.orchestration.
+statestore.StateStore` exactly as in a local campaign), publish the
+result, repeat until the coordinator reports the campaign drained.
+
+Wire format
+-----------
+
+Every message is one JSON object encoded UTF-8 and prefixed with a
+4-byte big-endian length.  Tasks travel as *recipes* — a registry config
+name plus a :class:`~repro.orchestration.tasks.TraceSpec` wire dict —
+never as pickled callables, so the protocol is language-agnostic and an
+executor can refuse a task whose locally recomputed fingerprint
+disagrees with the coordinator's (version skew between hosts).
+
+The full protocol, lease semantics and failure matrix are documented in
+``docs/distribution.md``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.orchestration import scheduler
+from repro.orchestration import store as result_store
+from repro.orchestration.fingerprint import predictor_fingerprint, task_fingerprint
+from repro.orchestration.store import ResultStore
+from repro.orchestration.tasks import PredictorFactory, Task, TaskOutcome, TraceSpec
+from repro.orchestration.telemetry import Telemetry, monotonic, sleep
+
+#: Bumped on incompatible wire-format changes; coordinator and executor
+#: refuse to pair across versions.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame; anything larger is a corrupt length prefix.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: The default registry executors resolve config names against.
+DEFAULT_REGISTRY = "repro.orchestration.registry:standard_registry"
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, unknown message, or protocol version mismatch."""
+
+
+class VersionSkewError(ProtocolError):
+    """A leased task's fingerprint does not match this host's code."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    import json
+
+    body = json.dumps(message).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(body)} bytes exceeds frame limit")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one length-prefixed JSON frame; raises on EOF/corruption."""
+    import json
+
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds limit")
+    try:
+        message = json.loads(_recv_exact(sock, length).decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed message: {message!r}")
+    return message
+
+
+def resolve_registry(ref: str) -> dict[str, PredictorFactory]:
+    """Import a ``module:callable`` registry reference and call it."""
+    module_name, _, attr = ref.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"registry ref {ref!r} is not 'module:callable'")
+    module = importlib.import_module(module_name)
+    factory = getattr(module, attr)
+    registry = factory()
+    if not isinstance(registry, dict):
+        raise ValueError(f"registry ref {ref!r} did not return a dict")
+    return registry
+
+
+def encode_task(task: Task) -> dict:
+    """Task → wire dict (config name + trace recipe, never callables)."""
+    if task.warm_key is not None:
+        raise ValueError("warm_share tasks cannot be distributed")
+    return {
+        "index": task.index,
+        "config": task.config_name,
+        "trace": task.trace.to_wire(),
+        "track_providers": task.track_providers,
+        "fingerprint": task.fingerprint,
+        "warmup_branches": task.warmup_branches,
+        "checkpoint_every": task.checkpoint_every,
+        "state_dir": task.state_dir,
+    }
+
+
+def decode_task(
+    data: dict, registry: dict[str, PredictorFactory], verify: bool = True
+) -> Task:
+    """Wire dict → Task, resolving the factory from ``registry``.
+
+    With ``verify`` (the default for executors) the fingerprint is
+    recomputed from this host's code and config; a mismatch means the
+    executor's checkout diverges from the coordinator's and the task is
+    refused rather than silently producing different bits.
+    """
+    config = data["config"]
+    factory = registry.get(config)
+    if factory is None:
+        raise VersionSkewError(
+            f"config {config!r} not in this executor's registry"
+        )
+    spec = TraceSpec.from_wire(data["trace"])
+    task = Task(
+        index=data["index"],
+        config_name=config,
+        factory=factory,
+        trace=spec,
+        track_providers=data.get("track_providers", False),
+        fingerprint=data["fingerprint"],
+        warmup_branches=data.get("warmup_branches", 0),
+        checkpoint_every=data.get("checkpoint_every"),
+        state_dir=data.get("state_dir"),
+    )
+    if verify:
+        local = task_fingerprint(
+            predictor_fingerprint(factory()),
+            spec.identity(),
+            task.track_providers,
+            warmup_branches=task.warmup_branches,
+        )
+        if local != task.fingerprint:
+            raise VersionSkewError(
+                f"fingerprint mismatch for {config} × {spec.name}: "
+                f"coordinator {task.fingerprint[:12]} vs local {local[:12]} "
+                "(code or config differs between hosts)"
+            )
+    return task
+
+
+class Connection:
+    """One coordinator connection, safe for the renewal thread to share."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._lock = threading.Lock()
+
+    def request(self, message: dict) -> dict:
+        with self._lock:
+            send_message(self.sock, message)
+            return recv_message(self.sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(
+    address: tuple[str, int], timeout: float = 10.0
+) -> socket.socket:
+    """Dial the coordinator, retrying briefly while it binds its port."""
+    deadline = monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+            sock.settimeout(None)
+            return sock
+        except OSError:
+            if monotonic() >= deadline:
+                raise
+            sleep(0.1)
+
+
+def default_executor_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class ExecutorStats:
+    """What one executor session accomplished."""
+
+    executor_id: str
+    completed: int = 0
+    failed: int = 0
+    refused: int = 0
+
+
+class _Renewer:
+    """Background lease heartbeat while a claimed task is running."""
+
+    def __init__(self, conn: Connection, executor_id: str, interval: float) -> None:
+        self._conn = conn
+        self._executor_id = executor_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self, lease_id: str) -> None:
+        self._stop.clear()
+
+        def beat() -> None:
+            while not self._stop.wait(self._interval):
+                try:
+                    reply = self._conn.request(
+                        {
+                            "type": "renew",
+                            "executor": self._executor_id,
+                            "lease_id": lease_id,
+                        }
+                    )
+                except (OSError, ConnectionError, ProtocolError):
+                    return
+                if reply.get("type") != "ok":
+                    return  # lease gone; keep computing, result may still land
+
+        self._thread = threading.Thread(target=beat, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+def run_executor(
+    address: tuple[str, int],
+    registry_ref: str = DEFAULT_REGISTRY,
+    executor_id: str | None = None,
+    telemetry: Telemetry | None = None,
+    poll_interval: float = 0.25,
+    renew: bool = True,
+    connect_timeout: float = 10.0,
+    max_tasks: int | None = None,
+) -> ExecutorStats:
+    """Drain leases from a coordinator until the campaign is drained.
+
+    Each claimed task runs through :func:`scheduler.execute_tasks` with
+    ``jobs=1`` — the exact serial substrate of a local campaign — so a
+    distributed cell's result is bit-identical to the serial run.  The
+    result payload travels back to the coordinator (which owns the
+    manifest and shared telemetry); when the shared result store is
+    reachable from this host the executor also publishes directly into
+    it, same atomic write, same bytes.
+
+    ``renew=False`` disables the lease heartbeat (used by fault-injection
+    tests to force expiry); ``max_tasks`` bounds how many leases this
+    session will run before disconnecting.
+    """
+    executor_id = executor_id or default_executor_id()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    registry = resolve_registry(registry_ref)
+    stats = ExecutorStats(executor_id=executor_id)
+
+    conn = Connection(connect(address, timeout=connect_timeout))
+    try:
+        welcome = conn.request(
+            {
+                "type": "hello",
+                "executor": executor_id,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"coordinator refused: {welcome}")
+        if welcome.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version skew: coordinator {welcome.get('protocol')} "
+                f"vs executor {PROTOCOL_VERSION}"
+            )
+        lease_ttl = float(welcome.get("lease_ttl", 30.0))
+        store_dir = welcome.get("store_dir")
+        store = ResultStore(Path(store_dir)) if store_dir else None
+        renewer = _Renewer(conn, executor_id, max(0.05, lease_ttl / 3.0))
+
+        while True:
+            if max_tasks is not None and stats.completed + stats.failed >= max_tasks:
+                break
+            reply = conn.request({"type": "claim", "executor": executor_id})
+            kind = reply.get("type")
+            if kind == "drained":
+                break
+            if kind == "empty":
+                sleep(float(reply.get("retry_after_s", poll_interval)))
+                continue
+            if kind != "lease":
+                raise ProtocolError(f"unexpected claim reply: {reply}")
+
+            lease_id = reply["lease_id"]
+            try:
+                task = decode_task(reply["task"], registry)
+            except VersionSkewError as exc:
+                stats.refused += 1
+                conn.request(
+                    {
+                        "type": "result",
+                        "executor": executor_id,
+                        "lease_id": lease_id,
+                        "index": reply["task"].get("index"),
+                        "ok": False,
+                        "error": str(exc),
+                        "refused": True,
+                    }
+                )
+                continue
+
+            if renew:
+                renewer.start(lease_id)
+            try:
+                outcome = scheduler.execute_tasks(
+                    [task], jobs=1, telemetry=telemetry, max_retries=0
+                )[0]
+            finally:
+                if renew:
+                    renewer.stop()
+
+            message = {
+                "type": "result",
+                "executor": executor_id,
+                "lease_id": lease_id,
+                "index": task.index,
+                "ok": outcome.ok,
+                "elapsed_s": outcome.elapsed_s,
+                "meta": {
+                    "resumed_from": outcome.resumed_from,
+                    "checkpoints": outcome.checkpoints,
+                    "corrupt": list(outcome.corrupt_purged),
+                },
+            }
+            if outcome.ok:
+                message["payload"] = result_store.encode_result(outcome.result)
+                stats.completed += 1
+                if store is not None:
+                    _publish(store, task, outcome)
+            else:
+                message["error"] = outcome.error or "unknown"
+                stats.failed += 1
+            conn.request(message)
+
+        try:
+            conn.request({"type": "bye", "executor": executor_id})
+        except (OSError, ConnectionError, ProtocolError):
+            pass
+    finally:
+        conn.close()
+    return stats
+
+
+def _publish(store: ResultStore, task: Task, outcome: TaskOutcome) -> None:
+    """Best-effort direct publish into the shared result store."""
+    try:
+        store.store(task.fingerprint, outcome.result)
+    except OSError:
+        pass  # store not reachable from this host; coordinator persists

@@ -56,8 +56,20 @@ def _run_one(task: Task, trace_cache: dict) -> tuple[dict, float, dict]:
         trace = task.trace.resolve()
         trace_cache[key] = trace
     predictor = task.factory()
-    state_store = StateStore(task.state_dir) if task.state_dir else None
-    meta: dict = {"resumed_from": None, "checkpoints": 0, "warmed": []}
+    meta: dict = {
+        "resumed_from": None,
+        "checkpoints": 0,
+        "warmed": [],
+        "corrupt": [],
+    }
+    state_store = (
+        StateStore(
+            task.state_dir,
+            on_corrupt=lambda path, reason: meta["corrupt"].append((path, reason)),
+        )
+        if task.state_dir
+        else None
+    )
     started = monotonic()
 
     resume_from = None
@@ -204,6 +216,8 @@ def _settle(
 
 def _emit_meta_events(telemetry: Telemetry, task: Task, meta: dict) -> None:
     """Surface a run's checkpoint/warm bookkeeping as telemetry events."""
+    for path, reason in meta.get("corrupt", ()):
+        telemetry.emit("cache_corrupt", path=path, reason=reason)
     if meta.get("resumed_from") is not None:
         telemetry.emit(
             "task_resume",
@@ -284,6 +298,7 @@ def _execute_serial(
                     resumed_from=meta.get("resumed_from"),
                     checkpoints=meta.get("checkpoints", 0),
                     warmed=tuple(meta.get("warmed", ())),
+                    corrupt_purged=tuple(meta.get("corrupt", ())),
                 ),
                 outcomes,
                 on_outcome,
@@ -427,6 +442,7 @@ def _execute_parallel(
                             resumed_from=meta.get("resumed_from"),
                             checkpoints=meta.get("checkpoints", 0),
                             warmed=tuple(meta.get("warmed", ())),
+                            corrupt_purged=tuple(meta.get("corrupt", ())),
                         ),
                         outcomes,
                         on_outcome,

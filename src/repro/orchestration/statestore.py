@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
+from typing import Callable
 
 from repro.common.state import StateError
 from repro.sim.metrics import SimCheckpoint
@@ -37,10 +38,20 @@ def warm_context_key(source_fp: str, trace_identity: str, warmup: int) -> str:
 
 
 class StateStore:
-    """On-disk checkpoint store keyed by (context key, branch position)."""
+    """On-disk checkpoint store keyed by (context key, branch position).
 
-    def __init__(self, root: str | Path) -> None:
+    ``on_corrupt`` is called with ``(path, reason)`` whenever a corrupt
+    entry is purged; the scheduler uses it to surface state-store purges
+    as ``cache_corrupt`` telemetry instead of swallowing them.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        on_corrupt: Callable[[str, str], None] | None = None,
+    ) -> None:
         self.root = Path(root)
+        self.on_corrupt = on_corrupt
 
     @staticmethod
     def _digest(context_key: str) -> str:
@@ -95,6 +106,8 @@ class StateStore:
             return None
         try:
             return SimCheckpoint.from_json(json.loads(path.read_text()))
-        except (json.JSONDecodeError, StateError, ValueError, KeyError, TypeError):
+        except (json.JSONDecodeError, StateError, ValueError, KeyError, TypeError) as exc:
             path.unlink(missing_ok=True)
+            if self.on_corrupt is not None:
+                self.on_corrupt(str(path), str(exc))
             return None

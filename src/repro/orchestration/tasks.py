@@ -86,6 +86,40 @@ class TraceSpec:
             return ("inline", id(self.payload))
         return (self.kind, self.name, self.branches, self.path)
 
+    def to_wire(self) -> dict:
+        """JSON-safe encoding for the distribution protocol.
+
+        Inline traces are refused: they exist only in the coordinator's
+        memory, so a remote executor could never rebuild them — the
+        distribution layer requires suite or file traces (whose recipes
+        are host-portable) exactly like the process-pool scheduler
+        prefers them for payload size.
+        """
+        if self.kind == "inline":
+            raise ValueError(
+                f"inline trace {self.name!r} cannot be distributed; "
+                "use a suite name or a .bfbp file"
+            )
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "branches": self.branches,
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "TraceSpec":
+        """Inverse of :meth:`to_wire`."""
+        kind = data.get("kind")
+        if kind not in ("suite", "file"):
+            raise ValueError(f"undistributable trace spec kind {kind!r}")
+        return cls(
+            kind=kind,
+            name=data["name"],
+            branches=data.get("branches"),
+            path=data.get("path"),
+        )
+
 
 @dataclass(frozen=True)
 class Task:
@@ -133,6 +167,10 @@ class TaskOutcome:
     checkpoints: int = 0
     #: Payload components transplanted from a warm-share source.
     warmed: tuple[str, ...] = ()
+    #: ``(path, reason)`` pairs for corrupt state-store entries the run
+    #: purged while looking for a resume cut (surfaced as
+    #: ``cache_corrupt`` telemetry by whoever settles the outcome).
+    corrupt_purged: tuple = ()
 
     @property
     def ok(self) -> bool:

@@ -18,13 +18,16 @@ timestamps.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Callable
 
 #: Bumped when an event kind gains/loses required fields.
-#: v2 added the checkpoint/resume kinds ``task_resume``/``warm_restore``.
-SCHEMA_VERSION = 2
+#: v2 added the checkpoint/resume kinds ``task_resume``/``warm_restore``;
+#: v3 added the distribution kinds ``executor_join``/``executor_dead``/
+#: ``lease_grant``/``lease_expire`` (see ``docs/distribution.md``).
+SCHEMA_VERSION = 3
 
 #: Required payload fields per event kind (beyond ``v``/``ts``/``event``).
 #: Extra fields are allowed; missing required fields are an error.
@@ -44,6 +47,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "serial_fallback": ("reason",),
     "progress": ("done", "total", "tasks_per_s", "eta_s"),
     "campaign_finish": ("done", "failed", "cache_hits", "elapsed_s"),
+    "executor_join": ("executor",),
+    "executor_dead": ("executor", "reason"),
+    "lease_grant": ("index", "config", "trace", "executor", "lease_id"),
+    "lease_expire": ("index", "executor", "lease_id"),
 }
 
 
@@ -55,6 +62,11 @@ def monotonic() -> float:
 def wall_clock() -> float:
     """Wall-clock timestamp stamped onto emitted events."""
     return time.time()
+
+
+def sleep(seconds: float) -> None:
+    """Back-off delay for polling loops (never in simulation code)."""
+    time.sleep(seconds)
 
 
 def validate_event(event: dict) -> None:
@@ -109,6 +121,9 @@ class Telemetry:
             path.parent.mkdir(parents=True, exist_ok=True)
             self._file = path.open("a", encoding="utf-8")
         self._subscribers = list(subscribers)
+        # The distributed coordinator emits from one thread per executor
+        # connection; serialize counter updates and JSONL writes.
+        self._lock = threading.Lock()
         self.done = 0
         self.failed = 0
         self.cache_hits = 0
@@ -120,21 +135,22 @@ class Telemetry:
 
     def emit(self, kind: str, **fields: object) -> dict:
         event = make_event(kind, **fields)
-        if kind == "campaign_start":
-            self._started = monotonic()
-        elif kind == "task_finish":
-            self.done += 1
-            self.simulated += 1
-        elif kind == "cache_hit":
-            self.done += 1
-            self.cache_hits += 1
-        elif kind == "task_failed" and fields.get("final"):
-            self.failed += 1
-        if self._file is not None:
-            self._file.write(json.dumps(event) + "\n")
-            self._file.flush()
-        for subscriber in self._subscribers:
-            subscriber(event)
+        with self._lock:
+            if kind == "campaign_start":
+                self._started = monotonic()
+            elif kind == "task_finish":
+                self.done += 1
+                self.simulated += 1
+            elif kind == "cache_hit":
+                self.done += 1
+                self.cache_hits += 1
+            elif kind == "task_failed" and fields.get("final"):
+                self.failed += 1
+            if self._file is not None:
+                self._file.write(json.dumps(event) + "\n")
+                self._file.flush()
+            for subscriber in self._subscribers:
+                subscriber(event)
         return event
 
     def elapsed_s(self) -> float:

@@ -213,6 +213,33 @@ class TestTelemetrySchema:
         with pytest.raises(ValueError):
             validate_event({"v": 1, "ts": 0.0, "event": "task_start", "index": 1})
 
+    def test_schema_v3_declares_distribution_kinds(self):
+        from repro.orchestration.telemetry import EVENT_FIELDS, SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 3
+        assert EVENT_FIELDS["executor_join"] == ("executor",)
+        assert EVENT_FIELDS["executor_dead"] == ("executor", "reason")
+        assert EVENT_FIELDS["lease_grant"] == (
+            "index", "config", "trace", "executor", "lease_id",
+        )
+        assert EVENT_FIELDS["lease_expire"] == ("index", "executor", "lease_id")
+
+    def test_v3_kinds_validate(self):
+        make_event("executor_join", executor="host-1")
+        make_event("executor_dead", executor="host-1", reason="connection lost")
+        make_event(
+            "lease_grant", index=0, config="bimodal", trace="FP1",
+            executor="host-1", lease_id="L1",
+        )
+        make_event("lease_expire", index=0, executor="host-1", lease_id="L1")
+
+    def test_v3_kinds_require_fields(self):
+        with pytest.raises(ValueError, match="lease_id"):
+            make_event("lease_grant", index=0, config="b", trace="FP1",
+                       executor="host-1")
+        with pytest.raises(ValueError, match="reason"):
+            make_event("executor_dead", executor="host-1")
+
     def test_jsonl_roundtrip(self, tmp_path):
         path = tmp_path / "events.jsonl"
         with Telemetry(jsonl_path=path) as telemetry:
@@ -227,13 +254,19 @@ class TestTelemetrySchema:
             telemetry.emit(
                 "cache_hit", index=1, config="a", trace="INT1", fingerprint="f"
             )
+            telemetry.emit("executor_join", executor="ex0")
+            telemetry.emit(
+                "lease_grant", index=1, config="a", trace="INT1",
+                executor="ex0", lease_id="L1",
+            )
+            telemetry.emit("lease_expire", index=1, executor="ex0", lease_id="L1")
             telemetry.emit(
                 "campaign_finish", done=2, failed=0, cache_hits=1, elapsed_s=0.6
             )
         events = read_events(path)
         assert [e["event"] for e in events] == [
-            "campaign_start", "task_start", "task_finish",
-            "cache_hit", "campaign_finish",
+            "campaign_start", "task_start", "task_finish", "cache_hit",
+            "executor_join", "lease_grant", "lease_expire", "campaign_finish",
         ]
         assert all(isinstance(e["ts"], float) for e in events)
 
