@@ -4,10 +4,17 @@
 set -x
 cd /root/repo
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
-# Static analysis first: hardware-faithfulness lint + storage-budget
-# audit. A violation or a blown budget should stop the campaign before
-# hours of simulation, not after.
+# Static analysis first: all four rule families (hardware
+# faithfulness, determinism taint, lock discipline, schema drift) plus
+# the storage-budget audit. A violation, a stale baseline entry or a
+# blown budget should stop the campaign before hours of simulation,
+# not after.
 python3 -m repro.analysis src/ --json > results/analysis.json || {
+    echo STATIC_ANALYSIS_FAILED
+    exit 1
+}
+python3 -m repro.analysis src/ --no-audit --fail-on-stale \
+    --format json > results/analysis-findings.jsonl || {
     echo STATIC_ANALYSIS_FAILED
     exit 1
 }

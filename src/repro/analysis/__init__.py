@@ -5,25 +5,44 @@ The paper's headline numbers (2.49 MPKI BF-Neural at 64 KB, the
 model stays hardware-realizable: fixed-width saturating counters,
 power-of-two tables, integer-only arithmetic on the predict/train
 paths, deterministic state, and honest ``storage_bits`` accounting.
-This package enforces those invariants with two passes:
+This package enforces those invariants with four rule families plus an
+audit pass:
 
-* an AST linter (:mod:`repro.analysis.rules`) with named REPRO rules,
-  reported with file:line, rule id and a one-line fix hint, and
+* ``hw`` (:mod:`repro.analysis.rules`, REPRO0xx) — hardware
+  faithfulness: saturating counters, power-of-two tables, integer-only
+  predict/train paths, snapshot coverage;
+* ``det`` (:mod:`repro.analysis.determinism`, REPRO1xx) — a taint pass
+  that tracks nondeterminism sources (clocks, unseeded randomness,
+  iteration order) into fingerprint/state/store sinks;
+* ``race`` (:mod:`repro.analysis.races`, REPRO2xx) — lock-discipline
+  inference flagging lock-guarded attributes touched without the lock;
+* ``schema`` (:mod:`repro.analysis.schema`, REPRO3xx) — drift between
+  emitted telemetry events / socket messages and their declared
+  ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` registries; and
 * a storage-budget auditor (:mod:`repro.analysis.storage_audit`) that
   instantiates the preset configurations, walks every component's
   ``storage_bits()`` and cross-checks the totals against the declared
   budgets (64 KB / 32 KB BF-Neural, Table I BF-TAGE).
 
 Run it as ``python -m repro.analysis src/`` (or the ``repro-lint``
-entry point); pre-existing, justified violations live in
-``analysis/baseline.json`` and are burned down incrementally — new
-violations fail the run.  ``tests/test_analysis.py`` wires both passes
-into tier-1.
+entry point, optionally ``--family det``); pre-existing, justified
+violations live in ``analysis/baseline.json`` and are burned down
+incrementally — new violations fail the run.  ``tests/test_analysis.py``
+and ``tests/test_analysis_families.py`` wire every pass into tier-1.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.families import (
+    ALL_RULES,
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    family_of,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from repro.analysis.findings import Finding, canonical_file
-from repro.analysis.rules import RULES, lint_paths, lint_source
+from repro.analysis.rules import RULES
 from repro.analysis.storage_audit import (
     AuditResult,
     audit_bf_neural,
@@ -33,16 +52,21 @@ from repro.analysis.storage_audit import (
 )
 
 __all__ = [
+    "ALL_RULES",
     "AuditResult",
     "Baseline",
+    "DEFAULT_FAMILIES",
+    "FAMILIES",
     "Finding",
     "RULES",
     "audit_bf_neural",
     "audit_table1",
     "canonical_file",
+    "family_of",
     "format_audits",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_baseline",
     "run_audits",
 ]

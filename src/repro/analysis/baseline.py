@@ -86,11 +86,17 @@ def load_baseline(path: Path | str | None = None) -> Baseline:
 
 
 def write_baseline(path: Path | str, findings: list[Finding], previous: Baseline) -> None:
-    """Regenerate a baseline from current findings, keeping justifications."""
+    """Regenerate a baseline from current findings, keeping justifications.
+
+    The output is *byte-stable*: entries are sorted by
+    ``(rule, file, symbol)`` with a fixed key order, so regenerating an
+    unchanged baseline produces identical bytes (clean diffs, honest
+    pre-commit hooks).
+    """
     kept = {entry.key: entry.justification for entry in previous.entries}
     seen: set[tuple[str, str, str]] = set()
     entries = []
-    for finding in findings:
+    for finding in sorted(findings, key=lambda f: f.baseline_key):
         key = finding.baseline_key
         if key in seen:
             continue

@@ -1,6 +1,12 @@
 """Command line driver: ``python -m repro.analysis`` / ``repro-lint``.
 
 Exit codes: 0 clean, 1 new lint findings, 2 storage-audit failure.
+
+The driver runs every rule family by default (``hw``, ``det``, ``race``,
+``schema``); ``--family`` restricts the run.  ``--format json`` emits one
+finding per line with a stable key order so downstream tools can diff or
+stream the output; the older ``--json`` aggregate payload is kept for
+``run_all_experiments.sh`` consumers.
 """
 
 from __future__ import annotations
@@ -10,7 +16,8 @@ import json
 import sys
 
 from repro.analysis.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
-from repro.analysis.rules import RULES, lint_paths
+from repro.analysis.families import ALL_RULES, FAMILIES, family_of, lint_paths
+from repro.analysis.findings import Finding
 from repro.analysis.storage_audit import format_audits, run_audits
 
 EXIT_CLEAN = 0
@@ -20,18 +27,29 @@ EXIT_AUDIT = 2
 #: for usage errors, so CI only needs "nonzero means not clean".
 EXIT_USAGE = 2
 
+#: Key order for ``--format json`` lines; fixed so output is byte-stable.
+JSON_KEYS = ("status", "family", "rule", "file", "line", "symbol", "message", "hint")
+
 
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Hardware-faithfulness static analysis (REPRO rules + "
-        "storage-budget audit)",
+        description="Static analysis for the repro tree: hardware "
+        "faithfulness, determinism taint, lock discipline and schema "
+        "drift, plus the storage-budget audit",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
         help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        choices=sorted(FAMILIES),
+        default=None,
+        help="run only this rule family (repeatable; default: all families)",
     )
     parser.add_argument(
         "--baseline",
@@ -51,13 +69,32 @@ def make_parser() -> argparse.ArgumentParser:
         help="write current findings as the new baseline and exit",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the active baseline in place (sorted, justifications "
+        "kept, matched against current findings) and exit",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="exit nonzero when the baseline has stale entries",
+    )
+    parser.add_argument(
         "--no-audit", action="store_true", help="skip the storage-budget audit"
     )
     parser.add_argument(
         "--audit-only", action="store_true", help="run only the storage-budget audit"
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit machine-readable JSON"
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json emits one finding per line (JSONL)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one aggregate JSON payload (legacy format)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list the REPRO rule ids and exit"
@@ -65,16 +102,32 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _jsonl_line(status: str, finding: Finding) -> str:
+    record = {
+        "status": status,
+        "family": family_of(finding.rule),
+        "rule": finding.rule,
+        "file": finding.file,
+        "line": finding.line,
+        "symbol": finding.symbol,
+        "message": finding.message,
+        "hint": finding.hint,
+    }
+    return json.dumps({key: record[key] for key in JSON_KEYS})
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule_id, (title, _) in sorted(RULES.items()):
-            print(f"{rule_id}  {title}")
+        for rule_id, title in sorted(ALL_RULES.items()):
+            print(f"{rule_id}  [{family_of(rule_id)}]  {title}")
         return EXIT_CLEAN
 
     try:
-        findings = [] if args.audit_only else lint_paths(args.paths)
+        findings = (
+            [] if args.audit_only else lint_paths(args.paths, families=args.family)
+        )
 
         baseline = None
         if not args.no_baseline and not args.audit_only:
@@ -82,6 +135,18 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.update_baseline:
+        target = baseline.path if baseline is not None and baseline.path else None
+        if target is None:
+            target = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+        previous = baseline if baseline is not None else load_baseline(None)
+        write_baseline(target, findings, previous)
+        print(f"[baseline updated at {target}: {len(findings)} entries]")
+        return EXIT_CLEAN
 
     if args.write_baseline is not None:
         previous = baseline if baseline is not None else load_baseline(None)
@@ -116,6 +181,23 @@ def main(argv: list[str] | None = None) -> int:
             ],
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "json":
+        for finding in new:
+            print(_jsonl_line("new", finding))
+        for finding in suppressed:
+            print(_jsonl_line("baselined", finding))
+        for entry in stale:
+            record = {
+                "status": "stale",
+                "family": family_of(entry.rule),
+                "rule": entry.rule,
+                "file": entry.file,
+                "line": 0,
+                "symbol": entry.symbol,
+                "message": "baseline entry matches no current finding",
+                "hint": "remove it (or run --update-baseline)",
+            }
+            print(json.dumps({key: record[key] for key in JSON_KEYS}))
     else:
         for finding in new:
             print(finding.render())
@@ -143,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         print(summary)
 
     if new:
+        return EXIT_FINDINGS
+    if args.fail_on_stale and stale:
         return EXIT_FINDINGS
     if not audits_ok:
         return EXIT_AUDIT

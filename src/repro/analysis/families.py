@@ -1,0 +1,100 @@
+"""Rule-family registry and the combined lint entry points.
+
+The analyzer grew from one pass into four *families*, selectable via
+``repro-lint --family``:
+
+=======  =========  =================================================
+hw       REPRO0xx   hardware-faithfulness rules (:mod:`.rules`)
+det      REPRO1xx   determinism taint pass (:mod:`.determinism`)
+race     REPRO2xx   lock-discipline race detector (:mod:`.races`)
+schema   REPRO3xx   telemetry/protocol schema drift (:mod:`.schema`)
+=======  =========  =================================================
+
+Every family consumes the same parsed :class:`~repro.analysis.rules.
+ModuleSource` list and produces :class:`~repro.analysis.findings.
+Finding` records, so baselining, JSON output and CI wiring are shared.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import determinism, races, rules, schema
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleSource, collect_sources, module_name_for
+from repro.analysis.findings import canonical_file
+
+#: family name -> (checker over sources, rule-id -> short title).
+FAMILIES = {
+    "hw": (rules.check_sources, {k: v[0] for k, v in rules.RULES.items()}),
+    "det": (determinism.check_sources, determinism.RULES),
+    "race": (races.check_sources, races.RULES),
+    "schema": (schema.check_sources, schema.RULES),
+}
+
+#: Every rule id across all families -> short title.
+ALL_RULES = {
+    rule: title
+    for _, titles in FAMILIES.values()
+    for rule, title in titles.items()
+}
+
+DEFAULT_FAMILIES = tuple(FAMILIES)
+
+
+def family_of(rule: str) -> str:
+    """Family name for a rule id (``REPRO203`` → ``race``)."""
+    try:
+        hundreds = int(rule.removeprefix("REPRO")) // 100
+    except ValueError:
+        return "hw"
+    return {0: "hw", 1: "det", 2: "race", 3: "schema"}.get(hundreds, "hw")
+
+
+def _resolve(families: tuple[str, ...] | list[str] | None) -> tuple[str, ...]:
+    if not families:
+        return DEFAULT_FAMILIES
+    unknown = [name for name in families if name not in FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown analysis family {unknown[0]!r} "
+            f"(choose from {', '.join(FAMILIES)})"
+        )
+    # Preserve registry order, drop duplicates.
+    return tuple(name for name in FAMILIES if name in set(families))
+
+
+def lint_sources(
+    sources: list[ModuleSource], families: tuple[str, ...] | None = None
+) -> list[Finding]:
+    """Run the selected families (default: all) over parsed sources."""
+    findings: list[Finding] = []
+    for name in _resolve(families):
+        checker, _ = FAMILIES[name]
+        findings.extend(checker(sources))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: list[Path | str], families: tuple[str, ...] | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with the selected families."""
+    return lint_sources(collect_sources(paths), families)
+
+
+def lint_source(
+    text: str,
+    filename: str = "<memory>",
+    families: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Lint a single in-memory module (used by the rule unit tests)."""
+    import ast
+
+    source = ModuleSource(
+        path=Path(filename),
+        module=module_name_for(Path(filename)),
+        relpath=canonical_file(filename),
+        tree=ast.parse(text, filename=filename),
+    )
+    return lint_sources([source], families)

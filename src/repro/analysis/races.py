@@ -1,0 +1,301 @@
+"""REPRO2xx — lock-discipline race detection for threaded orchestration.
+
+The coordinator (`distserver.py`) serves every executor connection from
+its own thread, and `telemetry.py` is written to from all of them; both
+serialize shared state behind ``self._lock``.  That discipline is easy
+to break silently: a new public method reads the lease table without
+the lock, a progress helper sums counters mid-update, and the campaign
+still *usually* drains — until it doesn't, on exactly the machine where
+bit-identity was being checked.
+
+This pass infers the discipline per class and enforces it statically:
+
+1. A class is *lock-bearing* when some attribute is assigned a
+   ``threading.Lock()`` / ``threading.RLock()`` (conventionally
+   ``self._lock``).
+2. An attribute is *guarded* when at least one method writes it inside
+   a ``with self._lock:`` block — plain assignment, augmented
+   assignment, subscript stores, ``del``, or a mutating method call
+   (``append``/``pop``/``update``/``write``/…).
+3. Any access (read or write) to a guarded attribute outside a
+   ``with self._lock:`` block is reported when it happens in:
+
+   ========  ======================================================
+   REPRO201  a public method (external callers cannot hold the
+             lock), or a method that takes the lock itself but also
+             touches guarded state outside the ``with`` block;
+   REPRO202  a method used as a ``threading.Thread`` target (runs
+             concurrently by construction).
+   ========  ======================================================
+
+Private helper methods that never take the lock are presumed to be
+"caller holds the lock" internals and are not reported — the callers
+that fail to hold it are.  ``__init__`` is exempt (no concurrency
+before construction completes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleSource
+
+#: Short titles for ``--list-rules``.
+RULES = {
+    "REPRO201": "lock-guarded attribute accessed without the lock",
+    "REPRO202": "guarded attribute accessed from a thread target without the lock",
+}
+
+#: Constructors that create a mutex.
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "remove",
+    "discard",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "extend",
+    "insert",
+    "setdefault",
+    "sort",
+    "write",
+    "flush",
+}
+
+
+def _is_lock_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.expr, self_name: str) -> str | None:
+    """``self.x`` (or ``self.x[...]``) → ``"x"``; otherwise None."""
+    if isinstance(node, ast.Subscript):
+        return _self_attr(node.value, self_name)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _self_name(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
+    if func.args.args:
+        return func.args.args[0].arg
+    return "self"
+
+
+def _is_lock_guard(item: ast.withitem, self_name: str, lock_attrs: set[str]) -> bool:
+    attr = _self_attr(item.context_expr, self_name)
+    return attr in lock_attrs
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    is_write: bool
+
+
+@dataclass
+class _MethodScan:
+    """One method's guarded/unguarded attribute accesses."""
+
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    takes_lock: bool = False
+    guarded_writes: set[str] = field(default_factory=set)
+    unguarded: list[_Access] = field(default_factory=list)
+    thread_targets: set[str] = field(default_factory=set)
+
+
+def _scan_method(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, lock_attrs: set[str]
+) -> _MethodScan:
+    self_name = _self_name(method)
+    scan = _MethodScan(name=method.name, node=method)
+
+    def visit(stmt: ast.stmt, under_lock: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locked = under_lock or any(
+                _is_lock_guard(item, self_name, lock_attrs) for item in stmt.items
+            )
+            if locked and not under_lock:
+                scan.takes_lock = True
+            for item in stmt.items:
+                record_expr(item.context_expr, under_lock, write=False)
+            for child in stmt.body:
+                visit(child, locked)
+            return
+        record_stmt(stmt, under_lock)
+        for attr in ("body", "orelse", "finalbody"):
+            for child in getattr(stmt, attr, []) or []:
+                visit(child, under_lock)
+        for handler in getattr(stmt, "handlers", []) or []:
+            for child in handler.body:
+                visit(child, under_lock)
+
+    def record_stmt(stmt: ast.stmt, under_lock: bool) -> None:
+        writes: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            writes = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            writes = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            writes = list(stmt.targets)
+        for target in writes:
+            record_expr(target, under_lock, write=True)
+        # Expression loads (and mutator calls) in this statement only —
+        # nested statements are visited on their own.
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                record_expr(node, under_lock, write=False)
+            elif isinstance(node, ast.keyword):
+                record_expr(node.value, under_lock, write=False)
+            elif isinstance(node, list):  # pragma: no cover - ast lists
+                continue
+        # Thread targets: Thread(target=self.X) anywhere in the statement.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _call_tail(node) == "Thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        attr = _self_attr(keyword.value, self_name)
+                        if attr is not None:
+                            scan.thread_targets.add(attr)
+
+    def record_expr(node: ast.expr, under_lock: bool, write: bool) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda,)):
+                continue
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                attr = _self_attr(sub.func.value, self_name)
+                if attr is not None and sub.func.attr in _MUTATORS:
+                    record_access(attr, sub.lineno, under_lock, write=True)
+            attr = None
+            if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name):
+                if sub.value.id == self_name:
+                    attr = sub.attr
+            if attr is not None:
+                record_access(attr, sub.lineno, under_lock, write=write)
+
+    def record_access(attr: str, line: int, under_lock: bool, write: bool) -> None:
+        if attr in lock_attrs:
+            return
+        if under_lock:
+            if write:
+                scan.guarded_writes.add(attr)
+        else:
+            scan.unguarded.append(_Access(attr=attr, line=line, is_write=write))
+
+    for stmt in method.body:
+        visit(stmt, under_lock=False)
+    return scan
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _methods_of(cls: ast.ClassDef):
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _lock_attrs_of(cls: ast.ClassDef) -> set[str]:
+    lock_attrs: set[str] = set()
+    for method in _methods_of(cls):
+        self_name = _self_name(method)
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_lock_call(node.value):
+                for target in node.targets:
+                    attr = _self_attr(target, self_name)
+                    if attr is not None:
+                        lock_attrs.add(attr)
+    return lock_attrs
+
+
+def _check_class(cls: ast.ClassDef, source: ModuleSource) -> list[Finding]:
+    lock_attrs = _lock_attrs_of(cls)
+    if not lock_attrs:
+        return []
+    scans = [_scan_method(m, lock_attrs) for m in _methods_of(cls)]
+    guarded: set[str] = set()
+    thread_targets: set[str] = set()
+    for scan in scans:
+        guarded |= scan.guarded_writes
+        thread_targets |= scan.thread_targets
+    if not guarded:
+        return []
+
+    findings: list[Finding] = []
+    for scan in scans:
+        if scan.name == "__init__":
+            continue
+        is_public = not scan.name.startswith("_")
+        is_target = scan.name in thread_targets
+        in_scope = is_public or is_target or scan.takes_lock
+        if not in_scope:
+            continue  # presumed caller-holds-the-lock helper
+        reported: set[str] = set()
+        for access in scan.unguarded:
+            if access.attr not in guarded or access.attr in reported:
+                continue
+            reported.add(access.attr)
+            rule = "REPRO202" if is_target else "REPRO201"
+            how = "written" if access.is_write else "read"
+            where = (
+                "thread-target method"
+                if is_target
+                else ("public method" if is_public else "lock-taking method")
+            )
+            findings.append(
+                Finding(
+                    rule=rule,
+                    file=source.relpath,
+                    line=access.line,
+                    symbol=f"{cls.name}.{scan.name}",
+                    message=(
+                        f"`self.{access.attr}` is lock-guarded but {how} "
+                        f"without the lock in {where} `{scan.name}`"
+                    ),
+                    hint="wrap the access in `with self._lock:` (use RLock if "
+                    "reentrancy is needed) or baseline it with a justification",
+                )
+            )
+    return findings
+
+
+def check_sources(sources: list[ModuleSource]) -> list[Finding]:
+    """Run the REPRO2xx lock-discipline pass over parsed sources."""
+    findings: list[Finding] = []
+    for source in sources:
+        if source.module.startswith("repro.analysis"):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(_check_class(node, source))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings

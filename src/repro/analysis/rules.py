@@ -738,7 +738,8 @@ RULES = {
 }
 
 
-def lint_sources(sources: list[ModuleSource]) -> list[Finding]:
+def check_sources(sources: list[ModuleSource]) -> list[Finding]:
+    """Run the REPRO0xx hardware-faithfulness family over parsed sources."""
     findings: list[Finding] = []
     for source in sources:
         if source.module.startswith("repro.analysis"):
@@ -753,17 +754,16 @@ def lint_sources(sources: list[ModuleSource]) -> list[Finding]:
     return findings
 
 
-def lint_paths(paths: list[Path | str]) -> list[Finding]:
-    """Lint every python file under ``paths`` and return all findings."""
-    return lint_sources(collect_sources(paths))
+def lint_paths(paths: list[Path | str], families=None) -> list[Finding]:
+    """Lint every python file under ``paths`` with all (or the selected)
+    rule families — delegates to :mod:`repro.analysis.families`."""
+    from repro.analysis.families import lint_paths as _lint_paths
+
+    return _lint_paths(paths, families)
 
 
-def lint_source(text: str, filename: str = "<memory>") -> list[Finding]:
+def lint_source(text: str, filename: str = "<memory>", families=None) -> list[Finding]:
     """Lint a single in-memory module (used by the rule unit tests)."""
-    source = ModuleSource(
-        path=Path(filename),
-        module=module_name_for(Path(filename)),
-        relpath=canonical_file(filename),
-        tree=ast.parse(text, filename=filename),
-    )
-    return lint_sources([source])
+    from repro.analysis.families import lint_source as _lint_source
+
+    return _lint_source(text, filename, families)

@@ -159,20 +159,24 @@ class Coordinator:
         finally:
             self._listener.close()
 
+        # Settled is complete once drained, but late result/expiry threads
+        # may still be in flight — snapshot it under the lock.
+        with self._lock:
+            settled = dict(self._settled)
         failures = sorted(
-            (o for o in self._settled.values() if not o.ok),
+            (o for o in settled.values() if not o.ok),
             key=lambda o: o.task.index,
         )
         self.telemetry.emit(
             "campaign_finish",
-            done=sum(1 for o in self._settled.values() if o.ok),
+            done=sum(1 for o in settled.values() if o.ok),
             failed=len(failures),
             cache_hits=self.telemetry.cache_hits,
             elapsed_s=round(self.telemetry.elapsed_s(), 6),
         )
         if failures and not self.plan.allow_failures:
             raise CampaignError(failures)
-        self.results = assemble_results(self.plan, self._settled)
+        self.results = assemble_results(self.plan, settled)
         return self.results
 
     def serve_background(self) -> threading.Thread:
@@ -276,6 +280,7 @@ class Coordinator:
                 return {"type": "empty", "retry_after_s": self.poll_hint_s}
             task = self._pending.popleft()
             self._attempts[task.index] += 1
+            attempt = self._attempts[task.index]
             self._lease_seq += 1
             lease_id = f"L{self._lease_seq}"
             self._leases[lease_id] = Lease(
@@ -291,7 +296,7 @@ class Coordinator:
             trace=task.trace.name,
             executor=executor,
             lease_id=lease_id,
-            attempt=self._attempts[task.index],
+            attempt=attempt,
         )
         return {
             "type": "lease",

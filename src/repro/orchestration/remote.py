@@ -44,6 +44,31 @@ from repro.orchestration.telemetry import Telemetry, monotonic, sleep
 #: refuse to pair across versions.
 PROTOCOL_VERSION = 1
 
+#: The closed protocol v1 vocabulary: every message ``type`` either side
+#: may construct, mapped to its required fields (extra fields are always
+#: allowed).  The REPRO3xx schema-drift lint cross-checks every message
+#: literal in this module and :mod:`~repro.orchestration.distserver`
+#: against this table, so adding a message without declaring it here
+#: fails lint; :func:`validate_message` offers the same check at
+#: runtime for tooling that builds frames dynamically.
+MESSAGE_TYPES: dict[str, tuple[str, ...]] = {
+    # executor -> coordinator
+    "hello": ("executor", "protocol"),
+    "claim": ("executor",),
+    "renew": ("executor", "lease_id"),
+    "result": ("executor", "lease_id", "index", "ok"),
+    "bye": ("executor",),
+    # coordinator -> executor
+    "welcome": ("protocol", "campaign_id", "total_tasks", "registry", "lease_ttl"),
+    "lease": ("lease_id", "lease_ttl", "task"),
+    "empty": ("retry_after_s",),
+    "drained": (),
+    "ok": (),
+    "gone": (),
+    "stale": (),
+    "error": ("error",),
+}
+
 #: Upper bound on one frame; anything larger is a corrupt length prefix.
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
 
@@ -55,6 +80,22 @@ DEFAULT_REGISTRY = "repro.orchestration.registry:standard_registry"
 
 class ProtocolError(RuntimeError):
     """Malformed frame, unknown message, or protocol version mismatch."""
+
+
+def validate_message(message: dict) -> None:
+    """Raise :class:`ProtocolError` if ``message`` is outside protocol v1.
+
+    Not wired into :func:`send_message`/:func:`recv_message` — the
+    coordinator answers unknown kinds with an ``error`` reply so version
+    skew degrades gracefully — but exposed for tests and tooling that
+    construct frames dynamically.
+    """
+    kind = message.get("type")
+    if kind not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown protocol message type {kind!r}")
+    missing = [name for name in MESSAGE_TYPES[kind] if name not in message]
+    if missing:
+        raise ProtocolError(f"message {kind!r} missing required fields {missing}")
 
 
 class VersionSkewError(ProtocolError):

@@ -13,6 +13,12 @@ the wall clock; the scheduler and engine import :func:`monotonic` /
 :func:`wall_clock` from here so the REPRO004 determinism exemption stays
 confined to one module.  No simulation result ever depends on these
 timestamps.
+
+The clock itself is injectable: every time source is a :class:`Clock`,
+and :func:`set_clock` swaps the active one (tests install a fake to get
+deterministic timestamps; the determinism taint pass REPRO101 ensures
+fingerprint-adjacent code can never reach the real wall clock because
+it only ever flows out of here through telemetry events).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -54,19 +61,51 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
 }
 
 
+@dataclass(frozen=True)
+class Clock:
+    """One source of time: monotonic, wall and sleep, swapped as a unit."""
+
+    monotonic: Callable[[], float]
+    wall: Callable[[], float]
+    sleep: Callable[[float], None]
+
+
+#: The real clock (process default).
+SYSTEM_CLOCK = Clock(monotonic=time.monotonic, wall=time.time, sleep=time.sleep)
+
+_active_clock: Clock = SYSTEM_CLOCK
+
+
+def set_clock(clock: Clock | None) -> Clock:
+    """Install ``clock`` as the active time source; returns the previous.
+
+    ``None`` restores :data:`SYSTEM_CLOCK`.  Tests use this to stamp
+    deterministic timestamps; production code never calls it.
+    """
+    global _active_clock
+    previous = _active_clock
+    _active_clock = clock if clock is not None else SYSTEM_CLOCK
+    return previous
+
+
+def active_clock() -> Clock:
+    """The clock new :class:`Telemetry` instances bind by default."""
+    return _active_clock
+
+
 def monotonic() -> float:
     """Monotonic clock for elapsed-time measurement (never in results)."""
-    return time.monotonic()
+    return _active_clock.monotonic()
 
 
 def wall_clock() -> float:
     """Wall-clock timestamp stamped onto emitted events."""
-    return time.time()
+    return _active_clock.wall()
 
 
 def sleep(seconds: float) -> None:
     """Back-off delay for polling loops (never in simulation code)."""
-    time.sleep(seconds)
+    _active_clock.sleep(seconds)
 
 
 def validate_event(event: dict) -> None:
@@ -81,9 +120,10 @@ def validate_event(event: dict) -> None:
         raise ValueError(f"event {kind!r} missing required fields {missing}")
 
 
-def make_event(kind: str, **fields: object) -> dict:
-    """Build and validate one event dict."""
-    event: dict = {"v": SCHEMA_VERSION, "ts": wall_clock(), "event": kind}
+def make_event(kind: str, _clock: Clock | None = None, **fields: object) -> dict:
+    """Build and validate one event dict (timestamps from ``_clock``)."""
+    clock = _clock if _clock is not None else _active_clock
+    event: dict = {"v": SCHEMA_VERSION, "ts": clock.wall(), "event": kind}
     event.update(fields)
     validate_event(event)
     return event
@@ -114,7 +154,9 @@ class Telemetry:
         self,
         jsonl_path: str | Path | None = None,
         subscribers: tuple[Callable[[dict], None], ...] = (),
+        clock: Clock | None = None,
     ) -> None:
+        self._clock = clock if clock is not None else _active_clock
         self._file = None
         if jsonl_path is not None:
             path = Path(jsonl_path)
@@ -122,22 +164,25 @@ class Telemetry:
             self._file = path.open("a", encoding="utf-8")
         self._subscribers = list(subscribers)
         # The distributed coordinator emits from one thread per executor
-        # connection; serialize counter updates and JSONL writes.
-        self._lock = threading.Lock()
+        # connection; serialize counter updates and JSONL writes.  The
+        # lock is reentrant because subscribers run under it and may
+        # read the rate helpers (which also take it).
+        self._lock = threading.RLock()
         self.done = 0
         self.failed = 0
         self.cache_hits = 0
         self.simulated = 0
-        self._started = monotonic()
+        self._started = self._clock.monotonic()
 
     def subscribe(self, callback: Callable[[dict], None]) -> None:
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
 
     def emit(self, kind: str, **fields: object) -> dict:
-        event = make_event(kind, **fields)
+        event = make_event(kind, _clock=self._clock, **fields)
         with self._lock:
             if kind == "campaign_start":
-                self._started = monotonic()
+                self._started = self._clock.monotonic()
             elif kind == "task_finish":
                 self.done += 1
                 self.simulated += 1
@@ -154,21 +199,25 @@ class Telemetry:
         return event
 
     def elapsed_s(self) -> float:
-        return monotonic() - self._started
+        with self._lock:
+            return self._clock.monotonic() - self._started
 
     def tasks_per_s(self) -> float:
-        elapsed = self.elapsed_s()
-        return self.done / elapsed if elapsed > 0 else 0.0
+        with self._lock:
+            elapsed = self._clock.monotonic() - self._started
+            return self.done / elapsed if elapsed > 0 else 0.0
 
     def eta_s(self, total: int) -> float:
-        rate = self.tasks_per_s()
-        remaining = max(0, total - self.done - self.failed)
-        return remaining / rate if rate > 0 else float("inf")
+        with self._lock:
+            rate = self.tasks_per_s()
+            remaining = max(0, total - self.done - self.failed)
+            return remaining / rate if rate > 0 else float("inf")
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     def __enter__(self) -> "Telemetry":
         return self

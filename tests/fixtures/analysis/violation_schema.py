@@ -1,0 +1,52 @@
+"""Fixture: telemetry/protocol schema drift (REPRO3xx).
+
+Declares its own miniature ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` so the
+pass is self-contained, and defines ``send_message`` so it counts as a
+protocol module.
+"""
+
+EVENT_FIELDS = {
+    "task_start": ("index", "config"),
+    "task_finish": ("index", "config", "mpki"),
+}
+
+MESSAGE_TYPES = {
+    "hello": ("executor", "protocol"),
+    "ok": (),
+}
+
+
+def send_message(sock, message):
+    sock.sendall(repr(message).encode())
+
+
+def emit_known(telemetry):
+    telemetry.emit("task_start", index=0, config="bf")  # clean
+
+
+def emit_unknown(telemetry):
+    telemetry.emit("task_teleport", index=0)  # REPRO301
+
+
+def emit_incomplete(telemetry):
+    telemetry.emit("task_finish", index=0)  # REPRO302: misses config, mpki
+
+
+def emit_forwarded(telemetry, **fields):
+    telemetry.emit("task_finish", **fields)  # clean: **kwargs may supply rest
+
+
+def greet(sock):
+    send_message(sock, {"type": "hello", "executor": "x", "protocol": 1})  # clean
+
+
+def hijack(sock):
+    send_message(sock, {"type": "hijack"})  # REPRO303
+
+
+def greet_incomplete(sock):
+    send_message(sock, {"type": "hello", "executor": "x"})  # REPRO304
+
+
+def merge_ok(sock, extra):
+    send_message(sock, {"type": "hello", **extra})  # clean: splat-merged

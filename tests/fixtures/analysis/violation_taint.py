@@ -1,0 +1,42 @@
+"""Fixture: nondeterminism reaching fingerprint/state sinks (REPRO1xx).
+
+Exercised with ``--family det``; the hw family also flags the ``time``
+import here (REPRO004), which is the point of keeping families separate.
+"""
+
+import hashlib
+import os
+import time
+
+from repro.orchestration.telemetry import wall_clock
+
+
+def cache_key_from_clock():
+    stamp = time.time()
+    return hashlib.sha256(f"key-{stamp}".encode()).hexdigest()  # REPRO101
+
+
+def digest_environment():
+    digest = hashlib.sha256()
+    digest.update(os.environ.get("HOME", "").encode())  # REPRO101
+    return digest.hexdigest()
+
+
+def unsorted_set_key(values):
+    seen = set(values)
+    joined = ",".join(seen)
+    return hashlib.sha256(joined.encode()).hexdigest()  # REPRO103
+
+
+def sorted_set_key(values):
+    seen = set(values)
+    joined = ",".join(sorted(seen))  # sorted() launders iteration order
+    return hashlib.sha256(joined.encode()).hexdigest()  # clean
+
+
+def _state_payload():
+    return {"captured_at": wall_clock()}  # REPRO102
+
+
+def report(telemetry):
+    telemetry.emit("heartbeat", ts=time.time())  # allowlisted sink: clean

@@ -1,0 +1,391 @@
+"""Tier-1 tests for the det/race/schema rule families and CLI plumbing."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ALL_RULES,
+    FAMILIES,
+    Finding,
+    family_of,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+from repro.analysis.baseline import Baseline, BaselineEntry, write_baseline
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, JSON_KEYS, _jsonl_line, main
+from repro.analysis.rules import collect_sources
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = ROOT / "tests" / "fixtures" / "analysis"
+SRC = ROOT / "src"
+
+TAINT = FIXTURES / "violation_taint.py"
+RACE = FIXTURES / "violation_race.py"
+SCHEMA = FIXTURES / "violation_schema.py"
+
+
+def rules_of(path, family):
+    return [f.rule for f in lint_paths([path], families=[family])]
+
+
+class TestFamilyRegistry:
+    def test_every_rule_maps_to_a_family(self):
+        for rule in ALL_RULES:
+            family = family_of(rule)
+            assert family in FAMILIES
+            assert rule in FAMILIES[family][1]
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown analysis family"):
+            lint_source("x = 1\n", families=["nope"])
+
+    def test_family_selection_restricts_rules(self):
+        assert all(r.startswith("REPRO1") for r in rules_of(TAINT, "det"))
+        assert all(r.startswith("REPRO0") for r in rules_of(TAINT, "hw"))
+
+
+class TestDeterminismTaint:
+    def test_fixture_positives(self):
+        findings = lint_paths([TAINT], families=["det"])
+        by_symbol = {f.symbol: f.rule for f in findings}
+        assert by_symbol == {
+            "cache_key_from_clock": "REPRO101",
+            "digest_environment": "REPRO101",
+            "unsorted_set_key": "REPRO103",
+            "_state_payload": "REPRO102",
+        }
+
+    def test_sorted_and_allowlisted_sinks_are_clean(self):
+        findings = lint_paths([TAINT], families=["det"])
+        assert not {f.symbol for f in findings} & {"sorted_set_key", "report"}
+
+    def test_clock_into_fingerprint(self):
+        code = (
+            "import time\n"
+            "from repro.orchestration.fingerprint import task_fingerprint\n"
+            "def key():\n"
+            "    stamp = time.monotonic()\n"
+            "    return task_fingerprint(stamp)\n"
+        )
+        assert [f.rule for f in lint_source(code, families=["det"])] == ["REPRO101"]
+
+    def test_telemetry_emit_is_allowlisted(self):
+        code = (
+            "import time\n"
+            "def report(telemetry):\n"
+            "    telemetry.emit('progress', ts=time.time())\n"
+        )
+        assert lint_source(code, families=["det"]) == []
+
+    def test_sort_keys_dumps_launders_order(self):
+        code = (
+            "import hashlib, json\n"
+            "def key(parts):\n"
+            "    blob = json.dumps(dict(parts), sort_keys=True)\n"
+            "    return hashlib.sha256(blob.encode()).hexdigest()\n"
+        )
+        assert lint_source(code, families=["det"]) == []
+
+    def test_dict_iteration_order_flagged(self):
+        code = (
+            "import hashlib\n"
+            "def key(mapping):\n"
+            "    mapping = dict(mapping)\n"
+            "    blob = ','.join(k for k in mapping.keys())\n"
+            "    return hashlib.sha256(blob.encode()).hexdigest()\n"
+        )
+        assert [f.rule for f in lint_source(code, families=["det"])] == ["REPRO103"]
+
+    def test_state_ctor_sink(self):
+        code = (
+            "import os\n"
+            "from repro.orchestration.statestore import PredictorState\n"
+            "def snap():\n"
+            "    return PredictorState(payload={'pid': os.getpid()})\n"
+        )
+        assert [f.rule for f in lint_source(code, families=["det"])] == ["REPRO102"]
+
+
+class TestRaceDetector:
+    def test_fixture_positives(self):
+        findings = lint_paths([RACE], families=["race"])
+        got = {(f.symbol, f.rule) for f in findings}
+        assert got == {
+            ("LeakyCoordinator.outstanding", "REPRO201"),
+            ("LeakyCoordinator.drop_all", "REPRO201"),
+            ("LeakyCoordinator._expire_loop", "REPRO202"),
+        }
+
+    def test_lockless_class_and_guarded_reads_are_clean(self):
+        findings = lint_paths([RACE], families=["race"])
+        symbols = {f.symbol for f in findings}
+        assert not any(s.startswith("Unlocked.") for s in symbols)
+        assert "LeakyCoordinator.settled_view" not in symbols
+
+    def test_injected_unguarded_lease_write_is_caught(self):
+        # The acceptance scenario: someone adds a public method to the
+        # real coordinator that clears the lease table without the lock.
+        path = SRC / "repro" / "orchestration" / "distserver.py"
+        original = path.read_text()
+        anchor = "    def serve(self)"
+        assert anchor in original
+        injected = original.replace(
+            anchor,
+            "    def leak_leases(self):\n"
+            "        self._leases.clear()\n"
+            "\n" + anchor,
+            1,
+        )
+        findings = lint_source(injected, str(path), families=["race"])
+        assert [(f.rule, f.symbol) for f in findings] == [
+            ("REPRO201", "Coordinator.leak_leases")
+        ]
+
+    def test_private_helper_without_lock_is_presumed_guarded(self):
+        code = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = []\n"
+            "    def push(self, item):\n"
+            "        with self._lock:\n"
+            "            self._append(item)\n"
+            "    def _append(self, item):\n"
+            "        self._items.append(item)\n"
+        )
+        assert lint_source(code, families=["race"]) == []
+
+
+class TestSchemaDrift:
+    def test_fixture_positives(self):
+        findings = lint_paths([SCHEMA], families=["schema"])
+        got = {(f.symbol, f.rule) for f in findings}
+        assert got == {
+            ("emit_unknown", "REPRO301"),
+            ("emit_incomplete", "REPRO302"),
+            ("hijack", "REPRO303"),
+            ("greet_incomplete", "REPRO304"),
+        }
+
+    def test_negatives_are_clean(self):
+        symbols = {f.symbol for f in lint_paths([SCHEMA], families=["schema"])}
+        assert not symbols & {"emit_known", "emit_forwarded", "greet", "merge_ok"}
+
+    def test_injected_unregistered_event_is_caught(self):
+        # The acceptance scenario: code emits an event kind that was
+        # never registered in the real telemetry schema.
+        telemetry = SRC / "repro" / "orchestration" / "telemetry.py"
+        sources = collect_sources([telemetry])
+        rogue = (
+            "def announce(telemetry):\n"
+            "    telemetry.emit('campaign_teleport', where='away')\n"
+        )
+        findings = lint_sources(
+            sources + collect_sources_from_text(rogue, "rogue.py"),
+            families=["schema"],
+        )
+        assert [f.rule for f in findings] == ["REPRO301"]
+        assert "campaign_teleport" in findings[0].message
+
+    def test_injected_missing_field_is_caught(self):
+        telemetry = SRC / "repro" / "orchestration" / "telemetry.py"
+        sources = collect_sources([telemetry])
+        rogue = (
+            "def announce(telemetry):\n"
+            "    telemetry.emit('task_retry', index=3)\n"  # misses 'attempt'
+        )
+        findings = lint_sources(
+            sources + collect_sources_from_text(rogue, "rogue.py"),
+            families=["schema"],
+        )
+        assert [f.rule for f in findings] == ["REPRO302"]
+        assert "attempt" in findings[0].message
+
+    def test_no_declaration_means_no_findings(self):
+        code = "def f(telemetry):\n    telemetry.emit('anything', x=1)\n"
+        assert lint_source(code, families=["schema"]) == []
+
+
+def collect_sources_from_text(text, filename):
+    """Build a one-module source list from in-memory text."""
+    import ast
+
+    from repro.analysis.findings import canonical_file
+    from repro.analysis.rules import ModuleSource, module_name_for
+
+    return [
+        ModuleSource(
+            path=Path(filename),
+            module=module_name_for(Path(filename)),
+            relpath=canonical_file(filename),
+            tree=ast.parse(text, filename=filename),
+        )
+    ]
+
+
+class TestRealTreeIsClean:
+    def test_det_family_clean_on_src(self):
+        assert lint_paths([SRC], families=["det"]) == []
+
+    def test_race_family_clean_on_src(self):
+        assert lint_paths([SRC], families=["race"]) == []
+
+    def test_schema_family_clean_on_src(self):
+        assert lint_paths([SRC], families=["schema"]) == []
+
+
+class TestCliFamilies:
+    def test_family_flag_restricts(self, capsys):
+        code = main([str(TAINT), "--no-audit", "--no-baseline", "--family", "det"])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REPRO101" in out and "REPRO004" not in out
+
+    def test_family_flag_hw_only(self, capsys):
+        code = main([str(TAINT), "--no-audit", "--no-baseline", "--family", "hw"])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REPRO004" in out and "REPRO101" not in out
+
+    def test_list_rules_covers_all_families(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in ("REPRO001", "REPRO101", "REPRO201", "REPRO301"):
+            assert rule in out
+
+    def test_each_family_fails_on_its_fixture(self):
+        for family, fixture in (
+            ("det", TAINT),
+            ("race", RACE),
+            ("schema", SCHEMA),
+        ):
+            code = main(
+                [str(fixture), "--no-audit", "--no-baseline", "--family", family]
+            )
+            assert code == EXIT_FINDINGS, family
+
+
+class TestJsonLines:
+    def run_jsonl(self, capsys, *argv):
+        code = main([*argv, "--no-audit", "--format", "json"])
+        return code, capsys.readouterr().out
+
+    def test_one_finding_per_line_stable_keys(self, capsys):
+        code, out = self.run_jsonl(
+            capsys, str(TAINT), "--no-baseline", "--family", "det"
+        )
+        assert code == EXIT_FINDINGS
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == list(JSON_KEYS)
+            assert record["status"] == "new"
+            assert record["family"] == "det"
+
+    def test_output_is_deterministic(self, capsys):
+        _, first = self.run_jsonl(capsys, str(RACE), "--no-baseline")
+        _, second = self.run_jsonl(capsys, str(RACE), "--no-baseline")
+        assert first == second
+
+    def test_stale_entries_reported(self, capsys, tmp_path):
+        baseline = tmp_path / "b.json"
+        write_baseline(
+            baseline,
+            [Finding(rule="REPRO201", file="gone.py", line=1, symbol="X.y", message="m")],
+            Baseline(entries=[]),
+        )
+        code, out = self.run_jsonl(
+            capsys, str(FIXTURES / "clean.py"), "--baseline", str(baseline)
+        )
+        assert code == EXIT_CLEAN
+        records = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert [r["status"] for r in records] == ["stale"]
+
+
+class TestJsonRoundTrip:
+    text = st.text(
+        st.characters(blacklist_categories=("Cs",)), min_size=0, max_size=40
+    )
+
+    @given(
+        rule=st.sampled_from(sorted(ALL_RULES)),
+        file=text,
+        line=st.integers(min_value=0, max_value=10**6),
+        symbol=text,
+        message=text,
+        hint=text,
+    )
+    def test_jsonl_line_round_trips(self, rule, file, line, symbol, message, hint):
+        finding = Finding(
+            rule=rule, file=file, line=line, symbol=symbol, message=message, hint=hint
+        )
+        record = json.loads(_jsonl_line("new", finding))
+        assert list(record) == list(JSON_KEYS)
+        assert record["status"] == "new"
+        assert record["family"] == family_of(rule)
+        rebuilt = Finding(
+            rule=record["rule"],
+            file=record["file"],
+            line=record["line"],
+            symbol=record["symbol"],
+            message=record["message"],
+            hint=record["hint"],
+        )
+        assert rebuilt == finding
+
+
+class TestBaselineHygiene:
+    def test_update_baseline_is_sorted_and_byte_stable(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 1, "entries": []}\n')
+        argv = [
+            str(RACE),
+            "--no-audit",
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ]
+        assert main(argv) == EXIT_CLEAN
+        first = baseline.read_bytes()
+        assert main(argv) == EXIT_CLEAN
+        assert baseline.read_bytes() == first
+        entries = json.loads(first)["entries"]
+        keys = [(e["rule"], e["file"], e["symbol"]) for e in entries]
+        assert keys == sorted(keys)
+        assert len(entries) == 3
+
+    def test_update_baseline_keeps_justifications(self, tmp_path):
+        findings = lint_paths([RACE], families=["race"])
+        baseline_path = tmp_path / "b.json"
+        previous = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=findings[0].rule,
+                    file=findings[0].file,
+                    symbol=findings[0].symbol,
+                    justification="intentional, see docs",
+                )
+            ]
+        )
+        write_baseline(baseline_path, findings, previous)
+        entries = json.loads(baseline_path.read_text())["entries"]
+        by_key = {(e["rule"], e["symbol"]): e["justification"] for e in entries}
+        assert by_key[(findings[0].rule, findings[0].symbol)] == "intentional, see docs"
+
+    def test_fail_on_stale(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        write_baseline(
+            baseline,
+            [Finding(rule="REPRO101", file="gone.py", line=1, symbol="f", message="m")],
+            Baseline(entries=[]),
+        )
+        argv = [str(FIXTURES / "clean.py"), "--no-audit", "--baseline", str(baseline)]
+        assert main(argv) == EXIT_CLEAN
+        assert main([*argv, "--fail-on-stale"]) == EXIT_FINDINGS
