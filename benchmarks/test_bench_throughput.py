@@ -2,8 +2,14 @@
 
 Not a paper artifact, but the number that governs how large a suite the
 pure-Python framework can evaluate; regressions here make the figure
-campaigns impractical.
+campaigns impractical.  Each run appends its numbers to
+``BENCH_throughput.json`` at the repo root, keyed by commit, so the
+throughput trajectory across the PR stack stays inspectable.
 """
+
+import json
+import subprocess
+from pathlib import Path
 
 import pytest
 
@@ -21,6 +27,43 @@ CONTENDERS = {
     "bf-tage10": lambda: BFTage(BFTageConfig.for_tables(10)),
 }
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_TRAJECTORY_PATH = _REPO_ROOT / "BENCH_throughput.json"
+_RESULTS: list[dict] = []
+
+
+def _current_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_ROOT,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_trajectory():
+    """Replace this commit's entries in the trajectory file at teardown."""
+    yield
+    if not _RESULTS:
+        return
+    commit = _current_commit()
+    try:
+        history = json.loads(_TRAJECTORY_PATH.read_text())
+    except (OSError, ValueError):
+        history = []
+    if not isinstance(history, list):
+        history = []
+    history = [row for row in history if row.get("commit") != commit]
+    for row in _RESULTS:
+        history.append({"commit": commit, **row})
+    _TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
 
 @pytest.mark.parametrize("name", list(CONTENDERS), ids=list(CONTENDERS))
 def test_predictor_throughput(benchmark, small_trace, name):
@@ -28,6 +71,17 @@ def test_predictor_throughput(benchmark, small_trace, name):
     result = benchmark.pedantic(
         lambda: simulate(factory(), small_trace), rounds=1, iterations=1
     )
+    elapsed = benchmark.stats.stats.min
+    events_per_s = round(len(small_trace) / elapsed, 1) if elapsed > 0 else 0.0
     benchmark.extra_info["mpki"] = round(result.mpki, 3)
     benchmark.extra_info["branches"] = len(small_trace)
+    benchmark.extra_info["events_per_s"] = events_per_s
+    _RESULTS.append(
+        {
+            "predictor": name,
+            "mpki": round(result.mpki, 3),
+            "events_per_s": events_per_s,
+            "branches": len(small_trace),
+        }
+    )
     assert result.branches == len(small_trace)

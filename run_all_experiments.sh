@@ -4,11 +4,11 @@
 set -x
 cd /root/repo
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
-# Static analysis first: all four rule families (hardware
-# faithfulness, determinism taint, lock discipline, schema drift) plus
-# the storage-budget audit. A violation, a stale baseline entry or a
-# blown budget should stop the campaign before hours of simulation,
-# not after.
+# Static analysis first: all five rule families (hardware
+# faithfulness, determinism taint, lock discipline, schema drift,
+# hot-path perf) plus the storage-budget audit. A violation, a stale
+# baseline entry or a blown budget should stop the campaign before
+# hours of simulation, not after.
 python3 -m repro.analysis src/ --json > results/analysis.json || {
     echo STATIC_ANALYSIS_FAILED
     exit 1
@@ -16,6 +16,12 @@ python3 -m repro.analysis src/ --json > results/analysis.json || {
 python3 -m repro.analysis src/ --no-audit --fail-on-stale \
     --format json > results/analysis-findings.jsonl || {
     echo STATIC_ANALYSIS_FAILED
+    exit 1
+}
+# Dedicated perf gate: the event-loop/predictor hot closure must stay
+# allocation-free (or carry a justified pragma/baseline entry).
+python3 -m repro.analysis src/ --family perf --no-audit --fail-on-stale || {
+    echo HOT_PATH_PERF_LINT_FAILED
     exit 1
 }
 python3 -m repro.experiments.table1_storage --output results/table1.txt > /dev/null 2>&1

@@ -5,7 +5,7 @@ The paper's headline numbers (2.49 MPKI BF-Neural at 64 KB, the
 model stays hardware-realizable: fixed-width saturating counters,
 power-of-two tables, integer-only arithmetic on the predict/train
 paths, deterministic state, and honest ``storage_bits`` accounting.
-This package enforces those invariants with four rule families plus an
+This package enforces those invariants with five rule families plus an
 audit pass:
 
 * ``hw`` (:mod:`repro.analysis.rules`, REPRO0xx) — hardware
@@ -18,7 +18,12 @@ audit pass:
   inference flagging lock-guarded attributes touched without the lock;
 * ``schema`` (:mod:`repro.analysis.schema`, REPRO3xx) — drift between
   emitted telemetry events / socket messages and their declared
-  ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` registries; and
+  ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` registries;
+* ``perf`` (:mod:`repro.analysis.perf`, REPRO4xx) — per-event cost
+  rules over the transitive call closure of the hot-path roots,
+  resolved by the interprocedural engine in
+  :mod:`repro.analysis.callgraph` (module index, ``self``-method and
+  registry-ref binding, import re-export chasing); and
 * a storage-budget auditor (:mod:`repro.analysis.storage_audit`) that
   instantiates the preset configurations, walks every component's
   ``storage_bits()`` and cross-checks the totals against the declared
@@ -32,6 +37,7 @@ and ``tests/test_analysis_families.py`` wire every pass into tier-1.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.families import (
     ALL_RULES,
     DEFAULT_FAMILIES,
@@ -55,6 +61,7 @@ __all__ = [
     "ALL_RULES",
     "AuditResult",
     "Baseline",
+    "CallGraph",
     "DEFAULT_FAMILIES",
     "FAMILIES",
     "Finding",

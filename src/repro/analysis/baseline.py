@@ -43,9 +43,16 @@ class Baseline:
     entries: list[BaselineEntry] = field(default_factory=list)
 
     def split(
-        self, findings: list[Finding]
+        self, findings: list[Finding], families: list[str] | None = None
     ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
-        """Partition findings into (new, suppressed) and list stale entries."""
+        """Partition findings into (new, suppressed) and list stale entries.
+
+        ``families`` names the rule families that actually ran; entries
+        belonging to a family that was not run cannot be judged stale
+        (their rules produced no findings by construction).
+        """
+        from repro.analysis.families import family_of
+
         by_key = {entry.key: entry for entry in self.entries}
         new: list[Finding] = []
         suppressed: list[Finding] = []
@@ -57,7 +64,12 @@ class Baseline:
             else:
                 suppressed.append(finding)
                 matched.add(entry.key)
-        stale = [entry for entry in self.entries if entry.key not in matched]
+        stale = [
+            entry
+            for entry in self.entries
+            if entry.key not in matched
+            and (families is None or family_of(entry.rule) in families)
+        ]
         return new, suppressed, stale
 
     def unjustified(self) -> list[BaselineEntry]:

@@ -3,9 +3,11 @@
 Exit codes: 0 clean, 1 new lint findings, 2 storage-audit failure.
 
 The driver runs every rule family by default (``hw``, ``det``, ``race``,
-``schema``); ``--family`` restricts the run.  ``--format json`` emits one
-finding per line with a stable key order so downstream tools can diff or
-stream the output; the older ``--json`` aggregate payload is kept for
+``schema``, ``perf``); ``--family`` restricts the run.  ``--format json``
+emits one finding per line with a stable key order so downstream tools
+can diff or stream the output; ``--format sarif`` emits a SARIF 2.1.0
+log (baselined findings become suppressed results) for code-scanning
+UIs; the older ``--json`` aggregate payload is kept for
 ``run_all_experiments.sh`` consumers.
 """
 
@@ -87,9 +89,10 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format; json emits one finding per line (JSONL)",
+        help="output format; json emits one finding per line (JSONL), "
+        "sarif emits a SARIF 2.1.0 log",
     )
     parser.add_argument(
         "--json",
@@ -114,6 +117,66 @@ def _jsonl_line(status: str, finding: Finding) -> str:
         "hint": finding.hint,
     }
     return json.dumps({key: record[key] for key in JSON_KEYS})
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict:
+    text = finding.message
+    if finding.hint:
+        text = f"{text} — {finding.hint}"
+    record = {
+        "ruleId": finding.rule,
+        "level": "warning",
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+        "properties": {
+            "family": family_of(finding.rule),
+            "symbol": finding.symbol,
+        },
+    }
+    if suppressed:
+        record["suppressions"] = [
+            {"kind": "external", "justification": "justified in the analysis baseline"}
+        ]
+    return record
+
+
+def _sarif_payload(new: list[Finding], suppressed: list[Finding]) -> dict:
+    referenced = sorted({finding.rule for finding in (*new, *suppressed)})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": ALL_RULES[rule_id]},
+            "properties": {"family": family_of(rule_id)},
+        }
+        for rule_id in referenced
+        if rule_id in ALL_RULES
+    ]
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(_sarif_result(finding, False) for finding in new),
+                    *(_sarif_result(finding, True) for finding in suppressed),
+                ],
+            }
+        ],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -155,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_CLEAN
 
     if baseline is not None:
-        new, suppressed, stale = baseline.split(findings)
+        new, suppressed, stale = baseline.split(findings, families=args.family)
     else:
         new, suppressed, stale = findings, [], []
 
@@ -181,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
             ],
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(_sarif_payload(new, suppressed), indent=2))
     elif args.format == "json":
         for finding in new:
             print(_jsonl_line("new", finding))

@@ -29,17 +29,25 @@ REPRO103  An iteration-order-dependent value (a ``set`` used as a
 
 Telemetry is the sanctioned sink for wall-clock values: calls to
 ``emit``/``make_event``/``validate_event`` (and plain logging/printing)
-are allowlisted, so event timestamps never fire.  The walk is
-deliberately intraprocedural — taint does not cross call boundaries
-except through the source/sink tables — which keeps it fast and
-false-positive-light at the cost of missing multi-hop flows (those are
-caught dynamically by the bit-identity tests).
+are allowlisted, so event timestamps never fire.
+
+The walk itself is intraprocedural, but taint now crosses **one level
+of helper calls**: before the per-scope passes run, every indexed
+function gets a *return-taint summary* (the taint its ``return``
+expressions would carry, computed intraprocedurally), and call sites
+resolved through the shared interprocedural engine
+(:mod:`repro.analysis.callgraph` — ``self`` methods, imported helpers,
+module functions) pick up their callee's summary.  So
+``key = helper()`` where ``helper`` returns ``time.time()`` now taints
+``key`` even though the clock read is a function away.  Deeper chains
+remain out of scope (caught dynamically by the bit-identity tests).
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ModuleSource, _import_map
@@ -194,15 +202,22 @@ class _ScopeWalk:
         imports: dict[str, str],
         qualname: str,
         findings: list[Finding],
+        helper_taints: Callable[[ast.Call], frozenset[_Taint]] | None = None,
     ) -> None:
         self.source = source
         self.imports = imports
         self.qualname = qualname
         self.findings = findings
+        #: Resolves a call site to its callee's return-taint summary
+        #: (the one-level interprocedural hop); None = purely local.
+        self.helper_taints = helper_taints
         self.env: dict[str, frozenset[_Taint]] = {}
         self.set_names: set[str] = set()
         self.dict_names: set[str] = set()
         self.digest_names: set[str] = set()
+        #: Taint carried by this scope's own ``return`` expressions —
+        #: read back as the scope's summary.
+        self.return_taint: frozenset[_Taint] = frozenset()
         self.reporting = False
         self._reported: set[tuple[str, int]] = set()
 
@@ -286,6 +301,10 @@ class _ScopeWalk:
             arg_taints = {t for t in arg_taints if t.kind != _ORDER_KIND}
         if tail in ("set", "frozenset"):
             arg_taints.add(_Taint(_ORDER_KIND, "set iteration order"))
+        # One-level interprocedural hop: a resolved helper contributes
+        # its return-taint summary to the call's value.
+        if self.helper_taints is not None:
+            arg_taints |= self.helper_taints(node)
         return frozenset(arg_taints)
 
     def _iteration_order_taint(self, iter_node: ast.expr) -> frozenset[_Taint]:
@@ -481,6 +500,8 @@ class _ScopeWalk:
             self._walk(stmt.orelse, in_state_func)
             return
         elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taint = self.return_taint | self.taint_of(stmt.value)
             if in_state_func and stmt.value is not None:
                 taints = set(self.taint_of(stmt.value))
                 if taints:
@@ -533,15 +554,64 @@ def _scopes(source: ModuleSource):
     yield from descend(source.tree.body, "")
 
 
+def _return_summaries(
+    graph, sources: list[ModuleSource]
+) -> dict[str, frozenset[_Taint]]:
+    """Intraprocedural return-taint summary for every indexed function."""
+    by_module = {source.module: source for source in sources}
+    import_maps = {
+        source.module: _import_map(source.tree) for source in sources
+    }
+    summaries: dict[str, frozenset[_Taint]] = {}
+    for qualname, fn in graph.functions.items():
+        source = by_module.get(fn.module)
+        if source is None:
+            continue
+        walk = _ScopeWalk(source, import_maps[fn.module], qualname, findings=[])
+        # Two reporting-off passes: the first carries loop taint forward,
+        # the second reads stable return taint.  Findings stay empty —
+        # summaries must not double-report the callee's own sinks.
+        walk._walk(fn.node.body, in_state_func=False)
+        walk._walk(fn.node.body, in_state_func=False)
+        summaries[qualname] = walk.return_taint
+    return summaries
+
+
+def _helper_taint_resolver(graph, summaries, fn_qualname: str):
+    """Callable mapping a call site to its callee's summary taint."""
+    fn = graph.functions.get(fn_qualname)
+    if fn is None:
+        return None
+    env = graph._local_types(fn)
+
+    def resolve(call: ast.Call) -> frozenset[_Taint]:
+        taints: set[_Taint] = set()
+        for callee in graph._resolve_call(fn, call, env):
+            if callee != fn_qualname:
+                taints |= summaries.get(callee, frozenset())
+        return frozenset(taints)
+
+    return resolve
+
+
 def check_sources(sources: list[ModuleSource]) -> list[Finding]:
     """Run the REPRO1xx determinism taint pass over parsed sources."""
+    from repro.analysis.callgraph import CallGraph
+
+    graph = CallGraph(sources)
+    summaries = _return_summaries(graph, sources)
     findings: list[Finding] = []
     for source in sources:
         if source.module.startswith("repro.analysis"):
             continue
         imports = _import_map(source.tree)
         for qualname, body, is_state_func in _scopes(source):
-            walk = _ScopeWalk(source, imports, qualname, findings)
+            resolver = _helper_taint_resolver(
+                graph, summaries, f"{source.module}.{qualname}"
+            )
+            walk = _ScopeWalk(
+                source, imports, qualname, findings, helper_taints=resolver
+            )
             walk.run(body, in_state_func=is_state_func)
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings

@@ -1,6 +1,6 @@
 """Rule-family registry and the combined lint entry points.
 
-The analyzer grew from one pass into four *families*, selectable via
+The analyzer grew from one pass into five *families*, selectable via
 ``repro-lint --family``:
 
 =======  =========  =================================================
@@ -8,6 +8,8 @@ hw       REPRO0xx   hardware-faithfulness rules (:mod:`.rules`)
 det      REPRO1xx   determinism taint pass (:mod:`.determinism`)
 race     REPRO2xx   lock-discipline race detector (:mod:`.races`)
 schema   REPRO3xx   telemetry/protocol schema drift (:mod:`.schema`)
+perf     REPRO4xx   hot-path cost rules over the interprocedural
+                    call closure (:mod:`.perf`, :mod:`.callgraph`)
 =======  =========  =================================================
 
 Every family consumes the same parsed :class:`~repro.analysis.rules.
@@ -19,7 +21,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import determinism, races, rules, schema
+from repro.analysis import determinism, perf, races, rules, schema
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ModuleSource, collect_sources, module_name_for
 from repro.analysis.findings import canonical_file
@@ -30,6 +32,7 @@ FAMILIES = {
     "det": (determinism.check_sources, determinism.RULES),
     "race": (races.check_sources, races.RULES),
     "schema": (schema.check_sources, schema.RULES),
+    "perf": (perf.check_sources, perf.RULES),
 }
 
 #: Every rule id across all families -> short title.
@@ -48,7 +51,7 @@ def family_of(rule: str) -> str:
         hundreds = int(rule.removeprefix("REPRO")) // 100
     except ValueError:
         return "hw"
-    return {0: "hw", 1: "det", 2: "race", 3: "schema"}.get(hundreds, "hw")
+    return {0: "hw", 1: "det", 2: "race", 3: "schema", 4: "perf"}.get(hundreds, "hw")
 
 
 def _resolve(families: tuple[str, ...] | list[str] | None) -> tuple[str, ...]:
@@ -96,5 +99,6 @@ def lint_source(
         module=module_name_for(Path(filename)),
         relpath=canonical_file(filename),
         tree=ast.parse(text, filename=filename),
+        text=text,
     )
     return lint_sources([source], families)

@@ -80,6 +80,7 @@ class ModuleSource:
     module: str
     relpath: str
     tree: ast.Module
+    text: str | None = None
 
     @classmethod
     def parse(cls, path: Path) -> "ModuleSource":
@@ -89,11 +90,22 @@ class ModuleSource:
             module=module_name_for(path),
             relpath=canonical_file(path),
             tree=ast.parse(text, filename=str(path)),
+            text=text,
         )
 
     @property
     def in_repro(self) -> bool:
         return self.module == "repro" or self.module.startswith("repro.")
+
+    @property
+    def lines(self) -> list[str]:
+        """Source lines (1-indexed via ``lines[lineno - 1]``), best effort."""
+        if self.text is None:
+            try:
+                self.text = self.path.read_text()
+            except OSError:
+                self.text = ""
+        return self.text.splitlines()
 
 
 def collect_sources(paths: list[Path | str]) -> list[ModuleSource]:

@@ -181,12 +181,13 @@ class MultiFoldedHistory:
     def push(self, taken: bool) -> None:
         """Record one outcome and advance every folded register."""
         incoming = 1 if taken else 0
+        ring_at = self._ring.at
         count_before = len(self._ring)
         for fold in self._folds:
             # The bit leaving each window is the one at depth length-1
             # *before* the push (zero while the window is not yet full).
             if count_before >= fold.length and fold.length > 0:
-                outgoing = self._ring.at(fold.length - 1)
+                outgoing = ring_at(fold.length - 1)
             else:
                 outgoing = 0
             fold.update(incoming, outgoing)

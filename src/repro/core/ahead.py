@@ -46,6 +46,7 @@ class AheadPipelinedBFNeural(BFNeural):
 
     # ------------------------------------------------------------------
 
+    # perf: allow(REPRO401): snapshot copies ARE the stale-state model (ahead-pipelining)
     def _take_snapshot(self) -> None:
         entries = [
             (entry.address, entry.stamp, entry.outcome) for entry in self.rs.entries()
@@ -61,6 +62,7 @@ class AheadPipelinedBFNeural(BFNeural):
             )
         )
 
+    # perf: allow(REPRO401): ahead==0 fallback copies model the un-pipelined design point
     def _stale_state(self):
         if self.ahead == 0 or not self._snapshots:
             entries = [
@@ -84,46 +86,56 @@ class AheadPipelinedBFNeural(BFNeural):
         """Pc-free row indexes over the `ahead`-stale history state."""
         cfg = self.config
         entries, clock, recent_bits, recent_paths, folds = self._stale_state()
-        accum = self._wb[pc & (cfg.bias_entries - 1)]
-        self._last_bias_index = pc & (cfg.bias_entries - 1)
+        bias_index = pc & (cfg.bias_entries - 1)
+        accum = self._wb[bias_index]
+        self._last_bias_index = bias_index
 
-        wm_rows: list[int] = []
-        wm_signs: list[int] = []
+        # Scratch lists are reused across events; _state_payload copies them.
+        wm_rows = self._last_wm_rows
+        wm_rows.clear()
+        wm_signs = self._last_wm_signs
+        wm_signs.clear()
+        rows_append = wm_rows.append
+        signs_append = wm_signs.append
+        wm = self._wm
         row_mask = cfg.wm_rows - 1
         use_fold = cfg.use_folded_hist
+        fold_width = self._folds.width
         for i in range(cfg.ht):
             key = recent_paths[i]
             if use_fold:
-                key ^= fold_bits(
-                    recent_bits & mask(i + 1), i + 1, self._folds.width
-                ) << 5
+                key ^= fold_bits(recent_bits & mask(i + 1), i + 1, fold_width) << 5
             row = mix64(key ^ (i << 24)) & row_mask
             sign = 1 if (recent_bits >> i) & 1 else -1
-            accum += self._wm[row][i] * sign
-            wm_rows.append(row)
-            wm_signs.append(sign)
+            accum += wm[row][i] * sign
+            rows_append(row)
+            signs_append(sign)
 
-        wrs_idx: list[int] = []
-        wrs_signs: list[int] = []
+        wrs_idx = self._last_wrs_idx
+        wrs_idx.clear()
+        wrs_signs = self._last_wrs_signs
+        wrs_signs.clear()
+        idx_append = wrs_idx.append
+        wsigns_append = wrs_signs.append
+        wrs = self._wrs
+        stale_folded = self._stale_folded
         wrs_mask = cfg.wrs_entries - 1
+        position_cap = cfg.position_cap
+        use_positional = cfg.use_positional
         for address, stamp, outcome in entries:
-            distance = min(clock - stamp, cfg.position_cap)
+            distance = min(clock - stamp, position_cap)
             key = address
-            if cfg.use_positional:
+            if use_positional:
                 key ^= quantize_distance(distance) << 13
             if use_fold:
-                key ^= self._stale_folded(distance, folds) << 21
+                key ^= stale_folded(distance, folds) << 21
             index = mix64(key) & wrs_mask
             sign = 1 if outcome else -1
-            accum += self._wrs[index] * sign
-            wrs_idx.append(index)
-            wrs_signs.append(sign)
+            accum += wrs[index] * sign
+            idx_append(index)
+            wsigns_append(sign)
 
         self._last_accum = accum
-        self._last_wm_rows = wm_rows
-        self._last_wm_signs = wm_signs
-        self._last_wrs_idx = wrs_idx
-        self._last_wrs_signs = wrs_signs
 
     def train(self, pc: int, taken: bool) -> None:
         super().train(pc, taken)

@@ -166,47 +166,66 @@ class BFNeural(BranchPredictor):
         return self._folds.folded_at(depth)
 
     def _compute(self, pc: int) -> None:
-        """Evaluate the three weight components for a non-biased branch."""
-        cfg = self.config
-        accum = self._wb[pc & (cfg.bias_entries - 1)]
-        self._last_bias_index = pc & (cfg.bias_entries - 1)
+        """Evaluate the three weight components for a non-biased branch.
 
-        wm_rows: list[int] = []
-        wm_signs: list[int] = []
+        Runs once per non-biased branch event, so the scratch lists
+        preallocated in ``__init__`` are reused in place and every
+        attribute consulted inside the loops is hoisted to a local
+        (REPRO401/402 — ``snapshot()`` copies the scratch, so reuse is
+        checkpoint-safe).
+        """
+        cfg = self.config
+        bias_index = pc & (cfg.bias_entries - 1)
+        accum = self._wb[bias_index]
+        self._last_bias_index = bias_index
+
+        wm_rows = self._last_wm_rows
+        wm_signs = self._last_wm_signs
+        wm_rows.clear()
+        wm_signs.clear()
+        rows_append = wm_rows.append
+        signs_append = wm_signs.append
         recent = self._recent_bits
         use_fold = cfg.use_folded_hist
         row_mask = cfg.wm_rows - 1
+        paths = self._recent_paths
+        wm = self._wm
+        folded = self._folded
         for i in range(cfg.ht):
-            key = pc ^ self._recent_paths[i]
+            key = pc ^ paths[i]
             if use_fold:
-                key ^= self._folded(i + 1) << 5
+                key ^= folded(i + 1) << 5
             row = mix64(key ^ (i << 24)) & row_mask
             sign = 1 if (recent >> i) & 1 else -1
-            accum += self._wm[row][i] * sign
-            wm_rows.append(row)
-            wm_signs.append(sign)
+            accum += wm[row][i] * sign
+            rows_append(row)
+            signs_append(sign)
 
-        wrs_idx: list[int] = []
-        wrs_signs: list[int] = []
+        wrs_idx = self._last_wrs_idx
+        wrs_signs = self._last_wrs_signs
+        wrs_idx.clear()
+        wrs_signs.clear()
+        idx_append = wrs_idx.append
+        wsigns_append = wrs_signs.append
         wrs_mask = cfg.wrs_entries - 1
-        for entry in self.rs.entries():
-            distance = self.rs.distance_of(entry)
+        rs = self.rs
+        distance_of = rs.distance_of
+        use_positional = cfg.use_positional
+        wrs = self._wrs
+        for entry in rs.entries():
+            distance = distance_of(entry)
             key = pc ^ entry.address
-            if cfg.use_positional:
+            if use_positional:
                 key ^= quantize_distance(distance) << 13
             if use_fold:
-                key ^= self._folded(distance) << 21
+                key ^= folded(distance) << 21
             index = mix64(key) & wrs_mask
             sign = 1 if entry.outcome else -1
-            accum += self._wrs[index] * sign
-            wrs_idx.append(index)
-            wrs_signs.append(sign)
+            accum += wrs[index] * sign
+            idx_append(index)
+            wsigns_append(sign)
 
         self._last_accum = accum
-        self._last_wm_rows = wm_rows
-        self._last_wm_signs = wm_signs
-        self._last_wrs_idx = wrs_idx
-        self._last_wrs_signs = wrs_signs
 
     # ------------------------------------------------------------------
     # Prediction (Algorithm 2)
@@ -257,9 +276,11 @@ class BFNeural(BranchPredictor):
         bias_index = self._last_bias_index
         value = self._wb[bias_index] + t
         self._wb[bias_index] = wmax if value > wmax else (wmin if value < wmin else value)
+        wm = self._wm
         for i, (row, sign) in enumerate(zip(self._last_wm_rows, self._last_wm_signs)):
-            value = self._wm[row][i] + t * sign
-            self._wm[row][i] = wmax if value > wmax else (wmin if value < wmin else value)
+            row_weights = wm[row]
+            value = row_weights[i] + t * sign
+            row_weights[i] = wmax if value > wmax else (wmin if value < wmin else value)
         wrs = self._wrs
         for index, sign in zip(self._last_wrs_idx, self._last_wrs_signs):
             value = wrs[index] + t * sign
@@ -316,10 +337,13 @@ class BFNeural(BranchPredictor):
         else:
             self.rs.record(pc, taken)
 
-        # Unfiltered global history always advances.
+        # Unfiltered global history always advances.  The path shift is
+        # in place (insert/pop) — the slice-assignment idiom copies the
+        # list twice per event (REPRO401).
         self._recent_bits = ((self._recent_bits << 1) | int(taken)) & mask(64)
-        self._recent_paths[1:] = self._recent_paths[:-1]
-        self._recent_paths[0] = pc & 0xFFFF
+        paths = self._recent_paths
+        paths.insert(0, pc & 0xFFFF)
+        paths.pop()
         self._folds.push(taken)
 
     # ------------------------------------------------------------------

@@ -102,17 +102,21 @@ class IdealBFNeural(BranchPredictor):
         self._last_non_biased = True
         bias_index = pc & (self.bias_entries - 1)
         accum = self._wb[bias_index]
-        terms: list[tuple[int, int, int]] = []
-        for column, entry in enumerate(self.rs.entries()):
-            distance = self.rs.distance_of(entry)
-            row = mix64(pc ^ entry.address ^ (quantize_distance(distance) << 13)) & (
-                self.wm_rows - 1
-            )
+        # Scratch list is reused across events; _state_payload copies it.
+        terms = self._last_terms
+        terms.clear()
+        terms_append = terms.append
+        rs = self.rs
+        distance_of = rs.distance_of
+        wm = self._wm
+        row_mask = self.wm_rows - 1
+        for column, entry in enumerate(rs.entries()):
+            distance = distance_of(entry)
+            row = mix64(pc ^ entry.address ^ (quantize_distance(distance) << 13)) & row_mask
             sign = 1 if entry.outcome else -1
-            accum += self._wm[row][column] * sign
-            terms.append((row, column, sign))
+            accum += wm[row][column] * sign
+            terms_append((row, column, sign))
         self._last_accum = accum
-        self._last_terms = terms
         self._last_bias_index = bias_index
         self._last_pred = accum >= 0
         return self._last_pred
@@ -124,10 +128,11 @@ class IdealBFNeural(BranchPredictor):
                 t = 1 if taken else -1
                 index = self._last_bias_index
                 self._wb[index] = self._clamp(self._wb[index] + t)
+                wm = self._wm
+                clamp = self._clamp
                 for row, column, sign in self._last_terms:
-                    self._wm[row][column] = self._clamp(
-                        self._wm[row][column] + t * sign
-                    )
+                    row_weights = wm[row]
+                    row_weights[column] = clamp(row_weights[column] + t * sign)
             # Only non-biased branches enter the history (Algorithm 1).
             self.rs.tick()
             self.rs.record(pc, taken)

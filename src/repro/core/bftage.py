@@ -128,14 +128,16 @@ class BFTage(Tage):
         lengths = self.config.history_lengths
         packed_full, _ = self.segments.packed_ghr(lengths[-1])
         path = self._path_history & mask(self.config.path_bits)
+        indices = self._last_indices
+        tags = self._last_tags
         for i, table in enumerate(self.tables):
             width = 3 * lengths[i]
             prefix = packed_full & mask(width)
             index_fold = fold_bits(prefix, width, table.log2_entries)
-            self._last_indices[i] = table.index_of(pc, index_fold, path)
+            indices[i] = table.index_of(pc, index_fold, path)
             tag_fold_1 = fold_bits(prefix, width, table.tag_bits)
             tag_fold_2 = fold_bits(prefix, width, max(1, table.tag_bits - 1))
-            self._last_tags[i] = table.tag_of(pc, tag_fold_1, tag_fold_2)
+            tags[i] = table.tag_of(pc, tag_fold_1, tag_fold_2)
 
     # ------------------------------------------------------------------
     # History advance: BST classification feeds the segmented stacks

@@ -70,14 +70,15 @@ class RecencyStack:
         gating behaviour of Figure 3).  On a miss the stack shifts and
         the oldest entry falls out.
         """
+        entries = self._entries
         if self.dedup:
-            for position, entry in enumerate(self._entries):
+            for position, entry in enumerate(entries):
                 if entry.address == pc:
-                    del self._entries[position]
+                    del entries[position]
                     break
-        self._entries.insert(0, RSEntry(address=pc, stamp=self._clock, outcome=taken))
-        if len(self._entries) > self.depth:
-            self._entries.pop()
+        entries.insert(0, RSEntry(address=pc, stamp=self._clock, outcome=taken))
+        if len(entries) > self.depth:
+            entries.pop()
 
     def distance_of(self, entry: RSEntry) -> int:
         """Positional history P: committed branches since the occurrence."""

@@ -95,16 +95,23 @@ class SegmentedRecencyStacks:
         # One boundary-crossing event per boundary per commit: the branch
         # whose depth just became boundary+1 leaves the segment above the
         # boundary (if any) and enters the one below it (if any).
+        # Bound methods and counters are hoisted — this loop runs per
+        # committed branch over every boundary (REPRO402).
+        at_depth = self._at_depth
+        remove = self._remove
+        insert = self._insert
+        head = self._head
+        num_segments = self.num_segments
         for k, boundary in enumerate(self.boundaries):
-            record = self._at_depth(boundary + 1)
+            record = at_depth(boundary + 1)
             if record is None:
                 break  # deeper boundaries cannot have been reached either
             hashed_pc, outcome, was_non_biased = record
-            stamp = self._head - (boundary + 1)
+            stamp = head - (boundary + 1)
             if k > 0:
-                self._remove(k - 1, hashed_pc, stamp)
-            if k < self.num_segments and was_non_biased:
-                self._insert(k, hashed_pc, stamp, outcome)
+                remove(k - 1, hashed_pc, stamp)
+            if k < num_segments and was_non_biased:
+                insert(k, hashed_pc, stamp, outcome)
 
     def _remove(self, segment: int, hashed_pc: int, stamp: int) -> None:
         entries = self._segments[segment]
@@ -122,8 +129,13 @@ class SegmentedRecencyStacks:
                 break
         entries.insert(0, _SegmentEntry(hashed_pc, stamp, outcome))
         if len(entries) > self.rs_size:
-            # Evict the deepest (oldest stamp) entry.
-            deepest = min(range(len(entries)), key=lambda i: entries[i].stamp)
+            # Evict the deepest (oldest stamp) entry.  Explicit scan —
+            # min(..., key=lambda...) builds a closure per eviction
+            # (REPRO404); first minimal index wins, same as min().
+            deepest = 0
+            for position in range(1, len(entries)):
+                if entries[position].stamp < entries[deepest].stamp:
+                    deepest = position
             del entries[deepest]
 
     # ------------------------------------------------------------------

@@ -30,8 +30,24 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.common.state import PredictorState, StateError
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(func: _F) -> _F:
+    """Mark a function as a per-branch-event hot-path root.
+
+    The marker carries no runtime behaviour — it declares intent to the
+    ``perf`` analysis family (``repro.analysis.perf``), which computes
+    the transitive call closure of every marked function plus the
+    ``predict``/``train`` entry points of registered predictors, and
+    flags per-event allocations and lookups inside that closure.
+    """
+    func.__hot_path__ = True
+    return func
 
 
 @dataclass

@@ -51,9 +51,11 @@ class LoopPredictor:
         return hashed % self.sets, (hashed >> 20) & ((1 << self.tag_bits) - 1)
 
     def _find(self, pc: int) -> _LoopEntry | None:
+        set_and_tag = self._set_and_tag
+        table = self._table
         for way in range(self.ways):
-            set_index, tag = self._set_and_tag(pc, way)
-            entry = self._table[set_index][way]
+            set_index, tag = set_and_tag(pc, way)
+            entry = table[set_index][way]
             if entry.valid and entry.tag == tag:
                 return entry
         return None
@@ -97,24 +99,26 @@ class LoopPredictor:
 
     def _allocate(self, pc: int) -> None:
         # Prefer an invalid way; otherwise decay ages and steal an old one.
+        set_and_tag = self._set_and_tag
+        table = self._table
         victim_way = None
         for way in range(self.ways):
-            set_index, _ = self._set_and_tag(pc, way)
-            if not self._table[set_index][way].valid:
+            set_index, _ = set_and_tag(pc, way)
+            if not table[set_index][way].valid:
                 victim_way = way
                 break
         if victim_way is None:
             for way in range(self.ways):
-                set_index, _ = self._set_and_tag(pc, way)
-                entry = self._table[set_index][way]
+                set_index, _ = set_and_tag(pc, way)
+                entry = table[set_index][way]
                 if entry.age == 0:
                     victim_way = way
                     break
                 entry.age -= 1
         if victim_way is None:
             return
-        set_index, tag = self._set_and_tag(pc, victim_way)
-        entry = self._table[set_index][victim_way]
+        set_index, tag = set_and_tag(pc, victim_way)
+        entry = table[set_index][victim_way]
         entry.tag = tag
         entry.past_trip = 0
         entry.current_trip = 0

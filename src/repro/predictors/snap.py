@@ -115,9 +115,9 @@ class ScaledNeural(BranchPredictor):
                     self._tc = 0
                     if self.theta > 1:
                         self.theta -= 1
-        self._history[1:] = self._history[:-1]
+        self._history[1:] = self._history[:-1]  # perf: allow(REPRO401): numpy view
         self._history[0] = 1 if taken else -1
-        self._path[1:] = self._path[:-1]
+        self._path[1:] = self._path[:-1]  # perf: allow(REPRO401): numpy view
         self._path[0] = pc & 0xFFFF
 
     def reset(self) -> None:

@@ -111,6 +111,7 @@ class TaggedTable:
 
     def age_useful(self) -> None:
         """Gracefully degrade all useful counters (periodic reset)."""
+        # perf: allow(REPRO401): runs once per useful_reset_period, not per event
         self.useful = [value >> 1 for value in self.useful]
 
     def storage_bits(self) -> int:

@@ -43,6 +43,11 @@ MAX_HISTORY_BY_TABLES = {
 #: The exact 15-table ISL-TAGE history lengths from the paper's footnote.
 ISL_15_TABLE_LENGTHS = [3, 8, 12, 17, 33, 35, 67, 97, 138, 195, 330, 517, 1193, 1741, 1930]
 
+#: Precomputed provider labels — ``provider`` is read once per branch
+#: event under ``track_providers``, so the f-string stays off the hot
+#: path (REPRO401).
+_PROVIDER_NAMES = tuple(f"T{i + 1}" for i in range(32))
+
 
 def geometric_lengths(num_tables: int, l1: int = 3, lmax: int | None = None) -> list[int]:
     """History lengths L(i) = round(L1 · α^(i-1)) hitting ``lmax`` at i=N."""
@@ -169,11 +174,14 @@ class Tage(BranchPredictor):
     # ------------------------------------------------------------------
 
     def _compute_indices(self, pc: int) -> None:
+        # Scratch lists and the fold ladder are hoisted to locals: this
+        # runs once per branch event over every table (REPRO402).
         path = self._path_history & mask(self.config.path_bits)
-        for i, table in enumerate(self.tables):
-            folds = self._folds[i]
-            self._last_indices[i] = table.index_of(pc, folds.index_fold.value, path)
-            self._last_tags[i] = table.tag_of(
+        indices = self._last_indices
+        tags = self._last_tags
+        for i, (table, folds) in enumerate(zip(self.tables, self._folds)):
+            indices[i] = table.index_of(pc, folds.index_fold.value, path)
+            tags[i] = table.tag_of(
                 pc, folds.tag_fold_1.value, folds.tag_fold_2.value
             )
 
@@ -181,8 +189,11 @@ class Tage(BranchPredictor):
         self._compute_indices(pc)
         provider = -1
         alt = -1
-        for i in range(len(self.tables) - 1, -1, -1):
-            if self.tables[i].tag[self._last_indices[i]] == self._last_tags[i]:
+        tables = self.tables
+        indices = self._last_indices
+        tags = self._last_tags
+        for i in range(len(tables) - 1, -1, -1):
+            if tables[i].tag[indices[i]] == tags[i]:
                 if provider < 0:
                     provider = i
                 else:
@@ -221,7 +232,7 @@ class Tage(BranchPredictor):
         """Component that provided the last prediction (Figure 12)."""
         if self._last_provider < 0:
             return "base"
-        return f"T{self._last_provider + 1}"
+        return _PROVIDER_NAMES[self._last_provider]
 
     @property
     def provider_table(self) -> int:
@@ -271,34 +282,39 @@ class Tage(BranchPredictor):
     def _allocate(self, provider: int, taken: bool) -> None:
         """Install entries on (usually one) longer-history tables."""
         start = provider + 1
+        tables = self.tables
+        indices = self._last_indices
+        tags = self._last_tags
+        # perf: allow(REPRO401): mispredict-only, bounded by num_tables
         candidates = [
             i
-            for i in range(start, len(self.tables))
-            if self.tables[i].useful[self._last_indices[i]] == 0
+            for i in range(start, len(tables))
+            if tables[i].useful[indices[i]] == 0
         ]
         if not candidates:
-            for i in range(start, len(self.tables)):
-                self.tables[i].update_useful(self._last_indices[i], False)
+            for i in range(start, len(tables)):
+                tables[i].update_useful(indices[i], False)
             return
         # Prefer shorter history (probabilistically skip with 1/2 chance),
-        # the standard TAGE anti-ping-pong allocation.
+        # the standard TAGE anti-ping-pong allocation.  The RNG call
+        # sequence is bit-identity-pinned — keep draw order intact.
+        chance = self._rng.chance
         chosen = candidates[0]
+        # perf: allow(REPRO401): mispredict-only slice over <= num_tables candidates
         for candidate in candidates[1:]:
-            if self._rng.chance(1, 2):
+            if chance(1, 2):
                 break
             chosen = candidate
-        table = self.tables[chosen]
-        table.allocate(self._last_indices[chosen], self._last_tags[chosen], taken)
+        table = tables[chosen]
+        table.allocate(indices[chosen], tags[chosen], taken)
         # Probabilistically allocate a second entry two or more tables
         # deeper (TAGE-SC-L style) — speeds convergence on long-history
         # patterns without doubling the allocation pollution.
-        if self._rng.chance(1, 2):
+        if chance(1, 2):
             for candidate in candidates:
                 if candidate >= chosen + 2:
-                    second = self.tables[candidate]
-                    second.allocate(
-                        self._last_indices[candidate], self._last_tags[candidate], taken
-                    )
+                    second = tables[candidate]
+                    second.allocate(indices[candidate], tags[candidate], taken)
                     break
 
     def _advance_histories(self, pc: int, taken: bool) -> None:

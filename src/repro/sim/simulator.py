@@ -19,9 +19,75 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.predictors.base import BranchPredictor
+from repro.predictors.base import BranchPredictor, hot_path
 from repro.sim.metrics import SimCheckpoint, SimulationResult
 from repro.trace.records import Trace
+
+
+@hot_path
+def _run_counting(
+    predict: Callable[[int], bool],
+    train: Callable[[int, bool], None],
+    pcs,
+    outcomes,
+    start: int,
+    end: int,
+) -> int:
+    """Fast inner loop: every branch measured, nothing tracked but misses.
+
+    Taken when no warmup exclusion, provider attribution, progress
+    callback or streamed checkpointing is requested — the common case for
+    sweeps — so the per-branch work is exactly predict/compare/train.
+    """
+    mispredictions = 0
+    for position in range(start, end):
+        pc = pcs[position]
+        taken = outcomes[position]
+        if predict(pc) != taken:
+            mispredictions += 1
+        train(pc, taken)
+    return mispredictions
+
+
+@hot_path
+def _run_tracked(
+    predictor: BranchPredictor,
+    pcs,
+    outcomes,
+    start: int,
+    end: int,
+    total: int,
+    mispredictions: int,
+    provider_hits: dict[str, int],
+    warmup_branches: int,
+    track_providers: bool,
+    progress: Callable[[int], None] | None,
+    checkpoint_every: int | None,
+    on_checkpoint: Callable[[SimCheckpoint], None] | None,
+    cut: Callable[[int, int], SimCheckpoint],
+) -> int:
+    """General inner loop: warmup, provider attribution, progress, cuts."""
+    predict = predictor.predict
+    train = predictor.train
+    provider_get = provider_hits.get
+    stream_cuts = on_checkpoint is not None and checkpoint_every is not None
+    for position in range(start, end):
+        pc = pcs[position]
+        taken = outcomes[position]
+        prediction = predict(pc)
+        if position >= warmup_branches:
+            if prediction != taken:
+                mispredictions += 1
+            if track_providers:
+                # perf: allow(REPRO402): provider is a per-event property, not hoistable
+                provider = predictor.provider
+                provider_hits[provider] = provider_get(provider, 0) + 1
+        train(pc, taken)
+        if progress is not None and position % 10000 == 0:
+            progress(position)
+        if stream_cuts and (position + 1) % checkpoint_every == 0 and position + 1 < total:
+            on_checkpoint(cut(position + 1, mispredictions))
+    return mispredictions
 
 
 def simulate(
@@ -90,37 +156,42 @@ def simulate(
     if end < start:
         raise ValueError(f"stop_after={stop_after} is before resume position {start}")
 
-    def cut(position: int) -> SimCheckpoint:
+    def cut(position: int, mispredicted: int) -> SimCheckpoint:
         return SimCheckpoint(
             position=position,
-            mispredictions=mispredictions,
+            mispredictions=mispredicted,
             provider_hits=dict(provider_hits),
             predictor_state=predictor.snapshot(),
             trace_name=trace.name,
         )
 
-    predict = predictor.predict
-    train = predictor.train
-    for position in range(start, end):
-        pc = pcs[position]
-        taken = outcomes[position]
-        prediction = predict(pc)
-        if position >= warmup_branches:
-            if prediction != taken:
-                mispredictions += 1
-            if track_providers:
-                provider = predictor.provider
-                provider_hits[provider] = provider_hits.get(provider, 0) + 1
-        train(pc, taken)
-        if progress is not None and position % 10000 == 0:
-            progress(position)
-        if (
-            on_checkpoint is not None
-            and checkpoint_every is not None
-            and (position + 1) % checkpoint_every == 0
-            and position + 1 < total
-        ):
-            on_checkpoint(cut(position + 1))
+    fast = (
+        warmup_branches == 0
+        and not track_providers
+        and progress is None
+        and (on_checkpoint is None or checkpoint_every is None)
+    )
+    if fast:
+        mispredictions += _run_counting(
+            predictor.predict, predictor.train, pcs, outcomes, start, end
+        )
+    else:
+        mispredictions = _run_tracked(
+            predictor,
+            pcs,
+            outcomes,
+            start,
+            end,
+            total,
+            mispredictions,
+            provider_hits,
+            warmup_branches,
+            track_providers,
+            progress,
+            checkpoint_every,
+            on_checkpoint,
+            cut,
+        )
 
     measured = max(0, end - warmup_branches)
     instructions = trace.instruction_count
@@ -136,5 +207,5 @@ def simulate(
         instructions=instructions,
         mispredictions=mispredictions,
         provider_hits=provider_hits,
-        checkpoint=cut(end) if segmented else None,
+        checkpoint=cut(end, mispredictions) if segmented else None,
     )

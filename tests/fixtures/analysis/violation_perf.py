@@ -1,0 +1,73 @@
+"""Fixture: per-event costs inside the hot closure (REPRO4xx).
+
+``WastefulPredictor`` subclasses ``BranchPredictor``, so its
+``predict``/``train``/``update`` methods are hot roots and helpers they
+call are pulled into the closure interprocedurally.  ``cold_setup`` and
+``reset`` hold the same constructs outside the closure (negatives), and
+``update`` carries a pragma waiver.
+"""
+
+from repro.predictors.base import BranchPredictor, hot_path
+
+
+class WastefulPredictor(BranchPredictor):
+    name = "wasteful"
+
+    def __init__(self) -> None:
+        self.weights = [0] * 16
+        self.items = []
+
+    def predict(self, pc: int) -> bool:
+        rows = [w for w in self.weights]  # REPRO401 comprehension per event
+        label = f"pc-{pc}"  # REPRO401 f-string per event
+        value = self._helper(pc)
+        return sum(rows) + value >= 0 and bool(label)
+
+    def _helper(self, pc: int) -> int:
+        # Hot via WastefulPredictor.predict -> _helper.
+        for i in range(4):
+            self.items.append(i)  # REPRO402 attribute chain in loop
+        try:  # REPRO403 try/except as control flow
+            return self.weights[pc]
+        except IndexError:
+            return 0
+
+    def train(self, pc: int, taken: bool, **extra) -> None:  # REPRO405 packing
+        key = lambda: pc  # noqa: E731  # REPRO404 closure per event
+        self._log(key())
+
+    def _log(self, message) -> None:
+        # Hot via WastefulPredictor.train -> _log.
+        print(message)  # REPRO406 telemetry on the hot path
+
+    def update(self, pc: int) -> list:
+        # perf: allow(REPRO401): fixture-sanctioned waived allocation
+        return [pc]
+
+    def reset(self) -> None:
+        # Cold path: identical constructs, no findings.
+        self.weights = [w for w in self.weights]
+        self.items = []
+        label = f"reset-{len(self.weights)}"
+        self._cold_tail(label)
+
+    def _cold_tail(self, message) -> None:
+        print(message)
+
+
+@hot_path
+def hot_marked_sum(values) -> int:
+    total = 0
+    for value in values:
+        total += value
+    return total  # clean: no per-event costs
+
+
+@hot_path
+def hot_marked_packing(values) -> dict:
+    return {value: value for value in values}  # REPRO401 dict comprehension
+
+
+def cold_setup() -> dict:
+    # Unmarked free function: outside the closure, no findings.
+    return {index: f"slot-{index}" for index in range(8)}

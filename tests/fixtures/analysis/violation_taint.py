@@ -34,6 +34,16 @@ def sorted_set_key(values):
     return hashlib.sha256(joined.encode()).hexdigest()  # clean
 
 
+def helper_clock():
+    # Clean on its own: the taint only matters once it reaches a sink.
+    return time.time()
+
+
+def key_via_helper():
+    stamp = helper_clock()  # taint flows through the helper's return
+    return hashlib.sha256(f"key-{stamp}".encode()).hexdigest()  # REPRO101
+
+
 def _state_payload():
     return {"captured_at": wall_clock()}  # REPRO102
 

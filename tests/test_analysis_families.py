@@ -27,6 +27,7 @@ SRC = ROOT / "src"
 TAINT = FIXTURES / "violation_taint.py"
 RACE = FIXTURES / "violation_race.py"
 SCHEMA = FIXTURES / "violation_schema.py"
+PERF = FIXTURES / "violation_perf.py"
 
 
 def rules_of(path, family):
@@ -57,12 +58,24 @@ class TestDeterminismTaint:
             "cache_key_from_clock": "REPRO101",
             "digest_environment": "REPRO101",
             "unsorted_set_key": "REPRO103",
+            "key_via_helper": "REPRO101",
             "_state_payload": "REPRO102",
         }
 
     def test_sorted_and_allowlisted_sinks_are_clean(self):
         findings = lint_paths([TAINT], families=["det"])
-        assert not {f.symbol for f in findings} & {"sorted_set_key", "report"}
+        assert not {f.symbol for f in findings} & {
+            "sorted_set_key",
+            "report",
+            "helper_clock",
+        }
+
+    def test_taint_through_helper_return(self):
+        # The interprocedural pass: helper_clock() returns wall-clock
+        # taint which must reach the sha256 sink in its caller.
+        findings = lint_paths([TAINT], families=["det"])
+        flagged = [f for f in findings if f.symbol == "key_via_helper"]
+        assert [f.rule for f in flagged] == ["REPRO101"]
 
     def test_clock_into_fingerprint(self):
         code = (
@@ -229,6 +242,62 @@ def collect_sources_from_text(text, filename):
     ]
 
 
+class TestPerfFamily:
+    def test_fixture_positives(self):
+        findings = lint_paths([PERF], families=["perf"])
+        got = {(f.symbol, f.rule) for f in findings}
+        assert got == {
+            ("WastefulPredictor.predict", "REPRO401"),
+            ("WastefulPredictor._helper", "REPRO402"),
+            ("WastefulPredictor._helper", "REPRO403"),
+            ("WastefulPredictor.train", "REPRO404"),
+            ("WastefulPredictor.train", "REPRO405"),
+            ("WastefulPredictor._log", "REPRO406"),
+            ("hot_marked_packing", "REPRO401"),
+        }
+
+    def test_interprocedural_chain_in_message(self):
+        # Helpers are flagged because a hot root reaches them; the
+        # message names the chain.
+        findings = lint_paths([PERF], families=["perf"])
+        helper = next(f for f in findings if f.symbol == "WastefulPredictor._helper")
+        assert "WastefulPredictor.predict -> WastefulPredictor._helper" in helper.message
+        log = next(f for f in findings if f.symbol == "WastefulPredictor._log")
+        assert "WastefulPredictor.train -> WastefulPredictor._log" in log.message
+
+    def test_cold_paths_and_pragma_are_clean(self):
+        symbols = {f.symbol for f in lint_paths([PERF], families=["perf"])}
+        assert not symbols & {
+            "WastefulPredictor.update",  # pragma-waived
+            "WastefulPredictor.reset",  # cold method
+            "WastefulPredictor._cold_tail",  # only reachable from cold code
+            "hot_marked_sum",  # hot but allocation-free
+            "cold_setup",  # unmarked free function
+        }
+
+    def test_pragma_requires_reason(self):
+        code = (
+            "from repro.predictors.base import hot_path\n"
+            "@hot_path\n"
+            "def f(values):\n"
+            "    # perf: allow(REPRO401):\n"
+            "    return [v for v in values]\n"
+        )
+        assert [f.rule for f in lint_source(code, families=["perf"])] == ["REPRO401"]
+
+    def test_hot_path_marker_pulls_in_free_function(self):
+        code = (
+            "from repro.predictors.base import hot_path\n"
+            "def helper(values):\n"
+            "    return {v: v for v in values}\n"
+            "@hot_path\n"
+            "def entry(values):\n"
+            "    return helper(values)\n"
+        )
+        findings = lint_source(code, families=["perf"])
+        assert [(f.rule, f.symbol) for f in findings] == [("REPRO401", "helper")]
+
+
 class TestRealTreeIsClean:
     def test_det_family_clean_on_src(self):
         assert lint_paths([SRC], families=["det"]) == []
@@ -238,6 +307,11 @@ class TestRealTreeIsClean:
 
     def test_schema_family_clean_on_src(self):
         assert lint_paths([SRC], families=["schema"]) == []
+
+    def test_perf_family_clean_on_src(self):
+        # Hot-loop true positives were fixed or pragma-justified in place;
+        # the gate in run_all_experiments.sh keeps it that way.
+        assert lint_paths([SRC], families=["perf"]) == []
 
 
 class TestCliFamilies:
@@ -256,7 +330,7 @@ class TestCliFamilies:
     def test_list_rules_covers_all_families(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule in ("REPRO001", "REPRO101", "REPRO201", "REPRO301"):
+        for rule in ("REPRO001", "REPRO101", "REPRO201", "REPRO301", "REPRO401"):
             assert rule in out
 
     def test_each_family_fails_on_its_fixture(self):
@@ -264,6 +338,7 @@ class TestCliFamilies:
             ("det", TAINT),
             ("race", RACE),
             ("schema", SCHEMA),
+            ("perf", PERF),
         ):
             code = main(
                 [str(fixture), "--no-audit", "--no-baseline", "--family", family]
@@ -282,7 +357,7 @@ class TestJsonLines:
         )
         assert code == EXIT_FINDINGS
         lines = [line for line in out.splitlines() if line.strip()]
-        assert len(lines) == 4
+        assert len(lines) == 5
         for line in lines:
             record = json.loads(line)
             assert list(record) == list(JSON_KEYS)
@@ -389,3 +464,60 @@ class TestBaselineHygiene:
         argv = [str(FIXTURES / "clean.py"), "--no-audit", "--baseline", str(baseline)]
         assert main(argv) == EXIT_CLEAN
         assert main([*argv, "--fail-on-stale"]) == EXIT_FINDINGS
+
+    def test_staleness_scoped_to_families_that_ran(self, tmp_path, capsys):
+        # A det baseline entry cannot be judged stale by a perf-only run:
+        # its rule never executed, so it matched nothing by construction.
+        baseline = tmp_path / "b.json"
+        write_baseline(
+            baseline,
+            [Finding(rule="REPRO101", file="gone.py", line=1, symbol="f", message="m")],
+            Baseline(entries=[]),
+        )
+        argv = [
+            str(FIXTURES / "clean.py"),
+            "--no-audit",
+            "--baseline",
+            str(baseline),
+            "--fail-on-stale",
+        ]
+        assert main([*argv, "--family", "perf"]) == EXIT_CLEAN
+        assert main([*argv, "--family", "det"]) == EXIT_FINDINGS
+
+
+class TestSarifFormat:
+    def run_sarif(self, capsys, *argv):
+        code = main([*argv, "--no-audit", "--format", "sarif"])
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_structure_and_rules(self, capsys):
+        code, payload = self.run_sarif(
+            capsys, str(PERF), "--no-baseline", "--family", "perf"
+        )
+        assert code == EXIT_FINDINGS
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        result_rules = {result["ruleId"] for result in run["results"]}
+        assert result_rules <= rule_ids
+        assert "REPRO401" in result_rules
+
+    def test_locations_are_one_based(self, capsys):
+        _, payload = self.run_sarif(
+            capsys, str(PERF), "--no-baseline", "--family", "perf"
+        )
+        for result in payload["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+
+    def test_baselined_findings_become_suppressions(self, capsys, tmp_path):
+        findings = lint_paths([PERF], families=["perf"])
+        baseline = tmp_path / "b.json"
+        write_baseline(baseline, findings, Baseline(entries=[]))
+        code, payload = self.run_sarif(
+            capsys, str(PERF), "--family", "perf", "--baseline", str(baseline)
+        )
+        assert code == EXIT_CLEAN
+        results = payload["runs"][0]["results"]
+        assert results and all("suppressions" in result for result in results)
