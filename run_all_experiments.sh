@@ -69,4 +69,33 @@ done
 python3 -m repro campaign work --connect "$ADDRESS" --executor-id stage-ex0 --quiet &
 python3 -m repro campaign work --connect "$ADDRESS" --executor-id stage-ex1 --quiet &
 wait
+# Serving stage: the always-on prediction service warm-started from the
+# same state store, load-tested with 100 concurrent sessions mixing
+# calibrated and adversarial wild-branch traffic (docs/serving.md). The
+# loadgen exits non-zero on any protocol error and persists the
+# latency percentiles.
+python3 -m repro serve-predict --port 0 --state-dir .bfbp-cache/state \
+    --warmup 500 --branches 2000 \
+    --telemetry results/serving-telemetry.jsonl \
+    > results/serving-serve.log &
+PREDICT_PID=$!
+until PREDICT_ADDRESS=$(grep -om1 '[0-9.]*:[0-9]*$' results/serving-serve.log); do
+    kill -0 "$PREDICT_PID" || { echo SERVE_PREDICT_FAILED; exit 1; }
+    sleep 0.2
+done
+python3 -m repro loadgen --connect "$PREDICT_ADDRESS" --profile mixed \
+    --sessions 100 --events 2000 --batch 256 \
+    --output results/serving-loadgen.json || {
+    kill "$PREDICT_PID"
+    echo SERVING_LOADGEN_FAILED
+    exit 1
+}
+python3 -m repro loadgen --connect "$PREDICT_ADDRESS" --profile wild \
+    --sessions 100 --events 2000 --batch 256 --warm --warmup 500 \
+    --output results/serving-loadgen-warm.json || {
+    kill "$PREDICT_PID"
+    echo SERVING_LOADGEN_FAILED
+    exit 1
+}
+kill "$PREDICT_PID"
 echo ALL_EXPERIMENTS_DONE

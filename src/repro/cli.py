@@ -13,6 +13,11 @@ Subcommands:
   protocol and ``campaign work --connect HOST:PORT`` drains it (see
   ``docs/distribution.md``); a bare ``campaign ...`` is shorthand for
   ``campaign run ...``.
+* ``serve-predict`` — always-on prediction service: clients stream
+  branch events over the same wire protocol and receive predictions,
+  warm-started from a snapshot pool (see ``docs/serving.md``).
+* ``loadgen``   — drive concurrent client sessions against a prediction
+  server; reports throughput and p50/p95/p99 latency.
 * ``state``     — dump, hash and diff predictor state snapshots (the
   versioned snapshot/restore protocol of ``docs/state.md``).
 * ``diagnose``  — attribute mispredictions to static branches.
@@ -31,7 +36,7 @@ from pathlib import Path
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import Trace
 from repro.trace.stats import compute_stats
-from repro.workloads import SUITE_NAMES, build_trace, trace_names
+from repro.workloads import SUITE_NAMES, WILD_NAMES, build_trace, trace_names
 
 
 def _predictor_registry() -> dict:
@@ -42,8 +47,8 @@ def _predictor_registry() -> dict:
 
 
 def _load_trace(spec: str, branches: int | None) -> Trace:
-    """A trace spec is a suite name or a path to a .bfbp file."""
-    if spec in SUITE_NAMES:
+    """A trace spec is a suite/wild name or a path to a .bfbp file."""
+    if spec in SUITE_NAMES or spec in WILD_NAMES:
         return build_trace(spec, branches)
     path = Path(spec)
     if path.exists():
@@ -249,6 +254,7 @@ def _cmd_campaign_serve(args: argparse.Namespace) -> int:
             port=args.port,
             lease_ttl=args.lease_ttl,
             telemetry=telemetry,
+            auth_token=args.auth_token,
         )
         host, port = coordinator.address
         total = len(coordinator.tasks)
@@ -279,6 +285,7 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
                 poll_interval=args.poll,
                 connect_timeout=args.connect_timeout,
                 max_tasks=args.max_tasks,
+                auth_token=args.auth_token,
             )
         except (OSError, ConnectionError, ProtocolError) as exc:
             raise SystemExit(f"executor failed: {exc}")
@@ -287,6 +294,85 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
         f"{stats.failed} failed, {stats.refused} refused"
     )
     return 0 if not stats.failed and not stats.refused else 1
+
+
+def _cmd_serve_predict(args: argparse.Namespace) -> int:
+    from repro.orchestration import Telemetry
+    from repro.serving import PredictionServer, WarmSnapshotPool
+
+    pool = None
+    if not args.no_pool:
+        pool = WarmSnapshotPool(
+            _predictor_registry(),
+            state_dir=args.state_dir,
+            warmup_branches=args.warmup,
+            max_shards=args.max_shards,
+            branches=args.branches,
+        )
+    with Telemetry(jsonl_path=args.telemetry) as telemetry:
+        if pool is not None:
+            pool.telemetry = telemetry
+        server = PredictionServer(
+            registry=_predictor_registry(),
+            host=args.host,
+            port=args.port,
+            pool=pool,
+            auth_token=args.auth_token,
+            telemetry=telemetry,
+        )
+        host, port = server.address
+        print(f"serving predictions on {host}:{port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.orchestration import Telemetry
+    from repro.serving import PROFILES, ServeError, run_load
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not port_text.isdigit():
+        raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
+    address = (host or "127.0.0.1", int(port_text))
+    if args.profile not in PROFILES:
+        raise SystemExit(
+            f"unknown profile {args.profile!r}; "
+            f"available: {', '.join(sorted(PROFILES))}"
+        )
+    with Telemetry(jsonl_path=args.telemetry) as telemetry:
+        try:
+            report = run_load(
+                address,
+                profile=args.profile,
+                sessions=args.sessions,
+                session_events=args.events,
+                batch=args.batch,
+                warm=args.warm,
+                warmup=args.loadgen_warmup,
+                auth_token=args.auth_token,
+                telemetry=telemetry,
+            )
+        except (OSError, ConnectionError, ServeError) as exc:
+            raise SystemExit(f"loadgen failed: {exc}")
+    print(
+        f"{report.profile}: {report.sessions} sessions, {report.events} events, "
+        f"{report.errors} errors, {report.throughput_eps:.0f} events/s, "
+        f"p50 {report.p50_ms:.2f} ms, p95 {report.p95_ms:.2f} ms, "
+        f"p99 {report.p99_ms:.2f} ms"
+    )
+    for line in report.error_messages[:10]:
+        print(f"  error: {line}")
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return 1 if report.errors else 0
 
 
 def _trained_predictor(args: argparse.Namespace):
@@ -534,6 +620,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="repro.orchestration.registry:standard_registry",
         help="module:callable executors resolve config names against",
     )
+    p_camp_serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret executors must present (default: open)",
+    )
     p_camp_serve.set_defaults(fn=_cmd_campaign_serve)
 
     p_camp_work = camp_sub.add_parser(
@@ -570,7 +661,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp_work.add_argument(
         "--quiet", action="store_true", help="suppress live progress"
     )
+    p_camp_work.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret the coordinator requires",
+    )
     p_camp_work.set_defaults(fn=_cmd_campaign_work)
+
+    p_serve = sub.add_parser(
+        "serve-predict",
+        help="always-on prediction service: clients stream branch events "
+        "over the campaign wire protocol and get predictions back, "
+        "warm-started from the snapshot pool",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = pick a free one)"
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="StateStore directory for warm snapshots (shared with campaigns)",
+    )
+    p_serve.add_argument(
+        "--warmup",
+        type=int,
+        default=2000,
+        help="warmup prefix length for pool shards",
+    )
+    p_serve.add_argument(
+        "--max-shards",
+        type=int,
+        default=8,
+        help="warm shards resident before LRU eviction",
+    )
+    p_serve.add_argument(
+        "--branches",
+        type=int,
+        default=None,
+        help="trace budget backing warm shards (default: workload default)",
+    )
+    p_serve.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="disable the warm snapshot pool (cold sessions only)",
+    )
+    p_serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret clients must present (default: open)",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        default=None,
+        help="append JSONL telemetry events to this file",
+    )
+    p_serve.set_defaults(fn=_cmd_serve_predict)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive concurrent client sessions against a prediction "
+        "server and report throughput and latency percentiles",
+    )
+    p_load.add_argument(
+        "--connect", required=True, help="prediction server address HOST:PORT"
+    )
+    p_load.add_argument(
+        "--profile",
+        default="mixed",
+        help="client mix: steady | wild | mixed",
+    )
+    p_load.add_argument(
+        "--sessions", type=int, default=100, help="concurrent sessions to run"
+    )
+    p_load.add_argument(
+        "--events", type=int, default=2000, help="events streamed per session"
+    )
+    p_load.add_argument(
+        "--batch", type=int, default=256, help="events per round trip"
+    )
+    p_load.add_argument(
+        "--warm",
+        action="store_true",
+        help="open sessions warm from the server's snapshot pool",
+    )
+    p_load.add_argument(
+        "--warmup",
+        dest="loadgen_warmup",
+        type=int,
+        default=None,
+        help="warm prefix length to request (default: server pool default)",
+    )
+    p_load.add_argument(
+        "--auth-token", default=None, help="shared secret the server requires"
+    )
+    p_load.add_argument(
+        "--telemetry",
+        default=None,
+        help="append JSONL telemetry events to this file",
+    )
+    p_load.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_load.set_defaults(fn=_cmd_loadgen)
 
     p_state = sub.add_parser(
         "state", help="dump, hash and diff predictor state snapshots"

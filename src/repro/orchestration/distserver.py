@@ -47,6 +47,7 @@ from repro.orchestration.remote import (
     encode_task,
     recv_message,
     send_message,
+    token_matches,
 )
 from repro.orchestration.store import ResultStore, decode_result
 from repro.orchestration.tasks import Task, TaskOutcome
@@ -83,6 +84,7 @@ class Coordinator:
         telemetry: Telemetry | None = None,
         linger_s: float = 10.0,
         poll_hint_s: float = 0.25,
+        auth_token: str | None = None,
     ) -> None:
         if plan.warm_share:
             raise ValueError("warm_share campaigns cannot be distributed")
@@ -96,6 +98,7 @@ class Coordinator:
         self.lease_ttl = lease_ttl
         self.linger_s = linger_s
         self.poll_hint_s = poll_hint_s
+        self.auth_token = auth_token
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.results: dict | None = None
 
@@ -245,6 +248,13 @@ class Coordinator:
                 self._on_executor_lost(executor, "connection lost")
 
     def _on_hello(self, message: dict) -> dict:
+        if not token_matches(self.auth_token, message.get("token")):
+            self.telemetry.emit(
+                "auth_reject",
+                peer=str(message.get("executor")),
+                host=message.get("host"),
+            )
+            return {"type": "error", "error": "authentication failed"}
         if message.get("protocol") != PROTOCOL_VERSION:
             return {
                 "type": "error",

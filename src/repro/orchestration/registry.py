@@ -100,10 +100,10 @@ def standard_registry() -> dict[str, PredictorFactory]:
 
 
 def trace_spec_for(spec: str, branches: int | None = None) -> TraceSpec:
-    """Map a CLI trace argument (suite name or .bfbp path) to a spec."""
-    from repro.workloads import SUITE_NAMES
+    """Map a CLI trace argument (suite/wild name or .bfbp path) to a spec."""
+    from repro.workloads import SUITE_NAMES, WILD_NAMES
 
-    if spec in SUITE_NAMES:
+    if spec in SUITE_NAMES or spec in WILD_NAMES:
         return TraceSpec.suite(spec, branches)
     path = Path(spec)
     if path.exists():

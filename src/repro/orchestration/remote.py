@@ -13,18 +13,30 @@ Wire format
 -----------
 
 Every message is one JSON object encoded UTF-8 and prefixed with a
-4-byte big-endian length.  Tasks travel as *recipes* — a registry config
-name plus a :class:`~repro.orchestration.tasks.TraceSpec` wire dict —
-never as pickled callables, so the protocol is language-agnostic and an
+4-byte big-endian length.  A logical message whose encoded body exceeds
+:data:`MAX_MESSAGE_BYTES` is transparently split into ``chunk``
+continuation frames (base64 slices of the original body) and
+re-assembled by :func:`recv_message`, so payload size is bounded by
+:data:`MAX_CHUNKS` × the frame limit rather than one frame.  Tasks
+travel as *recipes* — a registry config name plus a
+:class:`~repro.orchestration.tasks.TraceSpec` wire dict — never as
+pickled callables, so the protocol is language-agnostic and an
 executor can refuse a task whose locally recomputed fingerprint
 disagrees with the coordinator's (version skew between hosts).
 
+The same wire format and message registry also carry the serving
+vocabulary of :mod:`repro.serving` (``serve_hello``/``session_open``/
+``events``/...), so one protocol version covers campaigns and the
+always-on prediction service.
+
 The full protocol, lease semantics and failure matrix are documented in
-``docs/distribution.md``.
+``docs/distribution.md``; the serving additions in ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
+import base64
+import hmac
 import importlib
 import os
 import socket
@@ -67,10 +79,28 @@ MESSAGE_TYPES: dict[str, tuple[str, ...]] = {
     "gone": (),
     "stale": (),
     "error": ("error",),
+    # either direction: continuation frame of an oversized message
+    "chunk": ("seq", "last", "data"),
+    # serving client -> server (repro.serving.server / .client)
+    "serve_hello": ("client", "protocol"),
+    "session_open": ("client", "config", "workload"),
+    "events": ("session", "pcs", "outcomes"),
+    "session_close": ("session",),
+    "serve_bye": ("client",),
+    # serving server -> client
+    "serve_welcome": ("protocol", "server_id"),
+    "session": ("session", "config", "workload", "position", "mispredictions"),
+    "predictions": ("session", "predictions", "mispredictions"),
+    "session_summary": ("session", "events", "mispredictions", "state_hash"),
 }
 
 #: Upper bound on one frame; anything larger is a corrupt length prefix.
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+#: Continuation frames one logical message may span.  Bounds assembly
+#: memory: the largest deliverable message is MAX_CHUNKS × ~half the
+#: frame limit.
+MAX_CHUNKS = 4096
 
 _LENGTH = struct.Struct(">I")
 
@@ -102,14 +132,71 @@ class VersionSkewError(ProtocolError):
     """A leased task's fingerprint does not match this host's code."""
 
 
+class AuthError(ProtocolError):
+    """The peer's shared-secret token did not match."""
+
+
+def token_matches(expected: str | None, provided: object) -> bool:
+    """Constant-time shared-secret comparison.
+
+    ``expected is None`` means authentication is disabled, so anything
+    (including an absent token) passes.  The comparison runs through
+    :func:`hmac.compare_digest` so a byte-by-byte timing side channel
+    cannot leak the secret's prefix.
+    """
+    if expected is None:
+        return True
+    return hmac.compare_digest(
+        expected.encode("utf-8"), str(provided or "").encode("utf-8")
+    )
+
+
+#: Bytes of JSON envelope around a chunk's base64 payload
+#: (``{"type": "chunk", "seq": NNNN, "last": false, "data": "..."}``).
+_CHUNK_OVERHEAD = 72
+
+
+def _chunk_step() -> int:
+    """Raw body bytes carried per continuation frame.
+
+    Sized so the chunk frame — base64 inflates the slice 4/3, plus the
+    JSON envelope — stays under MAX_MESSAGE_BYTES even when tests
+    shrink the limit to double digits.
+    """
+    return max(1, (MAX_MESSAGE_BYTES - _CHUNK_OVERHEAD) * 3 // 4)
+
+
 def send_message(sock: socket.socket, message: dict) -> None:
-    """Write one length-prefixed JSON frame."""
+    """Write one logical message, chunking when it exceeds one frame."""
     import json
 
     body = json.dumps(message).encode("utf-8")
-    if len(body) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"message of {len(body)} bytes exceeds frame limit")
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+    if len(body) <= MAX_MESSAGE_BYTES:
+        sock.sendall(_LENGTH.pack(len(body)) + body)
+        return
+    step = _chunk_step()
+    total = (len(body) + step - 1) // step
+    if total > MAX_CHUNKS:
+        raise ProtocolError(
+            f"message of {len(body)} bytes needs {total} chunks "
+            f"(limit {MAX_CHUNKS})"
+        )
+    for seq in range(total):
+        frame = json.dumps(
+            {
+                "type": "chunk",
+                "seq": seq,
+                "last": seq == total - 1,
+                "data": base64.b64encode(body[seq * step : (seq + 1) * step]).decode(
+                    "ascii"
+                ),
+            }
+        ).encode("utf-8")
+        if len(frame) > MAX_MESSAGE_BYTES:
+            raise ProtocolError(
+                f"frame limit {MAX_MESSAGE_BYTES} too small to carry a chunk"
+            )
+        sock.sendall(_LENGTH.pack(len(frame)) + frame)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -124,7 +211,7 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> dict:
+def _recv_frame(sock: socket.socket) -> dict:
     """Read one length-prefixed JSON frame; raises on EOF/corruption."""
     import json
 
@@ -139,6 +226,45 @@ def recv_message(sock: socket.socket) -> dict:
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError(f"frame is not a typed message: {message!r}")
     return message
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one logical message, re-assembling chunked continuations."""
+    import json
+
+    message = _recv_frame(sock)
+    if message.get("type") != "chunk":
+        return message
+    parts: list[bytes] = []
+    seq = 0
+    while True:
+        if message.get("seq") != seq:
+            raise ProtocolError(
+                f"chunk sequence broken: expected {seq}, got {message.get('seq')!r}"
+            )
+        try:
+            parts.append(base64.b64decode(str(message.get("data", "")), validate=True))
+        except ValueError as exc:
+            raise ProtocolError(f"undecodable chunk data: {exc}") from exc
+        if message.get("last"):
+            break
+        seq += 1
+        if seq >= MAX_CHUNKS:
+            raise ProtocolError(f"chunked message exceeds {MAX_CHUNKS} frames")
+        message = _recv_frame(sock)
+        if message.get("type") != "chunk":
+            raise ProtocolError(
+                f"non-chunk frame {message.get('type')!r} inside a chunked message"
+            )
+    try:
+        assembled = json.loads(b"".join(parts).decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable assembled message: {exc}") from exc
+    if not isinstance(assembled, dict) or "type" not in assembled:
+        raise ProtocolError(f"assembled frame is not a typed message: {assembled!r}")
+    if assembled.get("type") == "chunk":
+        raise ProtocolError("chunked messages cannot nest")
+    return assembled
 
 
 def resolve_registry(ref: str) -> dict[str, PredictorFactory]:
@@ -310,6 +436,7 @@ def run_executor(
     renew: bool = True,
     connect_timeout: float = 10.0,
     max_tasks: int | None = None,
+    auth_token: str | None = None,
 ) -> ExecutorStats:
     """Drain leases from a coordinator until the campaign is drained.
 
@@ -323,7 +450,8 @@ def run_executor(
 
     ``renew=False`` disables the lease heartbeat (used by fault-injection
     tests to force expiry); ``max_tasks`` bounds how many leases this
-    session will run before disconnecting.
+    session will run before disconnecting.  ``auth_token`` rides on the
+    ``hello`` when the coordinator requires a shared secret.
     """
     executor_id = executor_id or default_executor_id()
     telemetry = telemetry if telemetry is not None else Telemetry()
@@ -332,16 +460,20 @@ def run_executor(
 
     conn = Connection(connect(address, timeout=connect_timeout))
     try:
-        welcome = conn.request(
-            {
-                "type": "hello",
-                "executor": executor_id,
-                "pid": os.getpid(),
-                "host": socket.gethostname(),
-                "protocol": PROTOCOL_VERSION,
-            }
-        )
+        hello = {
+            "type": "hello",
+            "executor": executor_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "protocol": PROTOCOL_VERSION,
+        }
+        if auth_token is not None:
+            hello["token"] = auth_token
+        welcome = conn.request(hello)
         if welcome.get("type") != "welcome":
+            error = str(welcome.get("error", welcome))
+            if "authentication" in error:
+                raise AuthError(error)
             raise ProtocolError(f"coordinator refused: {welcome}")
         if welcome.get("protocol") != PROTOCOL_VERSION:
             raise ProtocolError(

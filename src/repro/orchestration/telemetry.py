@@ -33,8 +33,11 @@ from typing import Callable
 #: Bumped when an event kind gains/loses required fields.
 #: v2 added the checkpoint/resume kinds ``task_resume``/``warm_restore``;
 #: v3 added the distribution kinds ``executor_join``/``executor_dead``/
-#: ``lease_grant``/``lease_expire`` (see ``docs/distribution.md``).
-SCHEMA_VERSION = 3
+#: ``lease_grant``/``lease_expire`` (see ``docs/distribution.md``);
+#: v4 added the serving kinds ``serve_start``/``serve_stop``/
+#: ``session_open``/``session_close``/``pool_evict``/``warm_hydrate``/
+#: ``auth_reject``/``loadgen_report`` (see ``docs/serving.md``).
+SCHEMA_VERSION = 4
 
 #: Required payload fields per event kind (beyond ``v``/``ts``/``event``).
 #: Extra fields are allowed; missing required fields are an error.
@@ -58,6 +61,22 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "executor_dead": ("executor", "reason"),
     "lease_grant": ("index", "config", "trace", "executor", "lease_id"),
     "lease_expire": ("index", "executor", "lease_id"),
+    "serve_start": ("host", "port"),
+    "serve_stop": ("sessions",),
+    "session_open": ("session", "client", "config", "workload"),
+    "session_close": ("session", "client", "events", "mispredictions", "elapsed_s"),
+    "pool_evict": ("shard", "reason"),
+    "warm_hydrate": ("shard", "source", "position"),
+    "auth_reject": ("peer",),
+    "loadgen_report": (
+        "sessions",
+        "events",
+        "errors",
+        "throughput_eps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+    ),
 }
 
 

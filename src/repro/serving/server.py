@@ -1,0 +1,395 @@
+"""Always-on prediction service over the length-prefixed JSON protocol.
+
+``repro serve-predict`` runs a :class:`PredictionServer`: clients open
+*sessions* (one predictor instance bound to a named workload) and
+stream branch events; every event is answered with the predictor's
+direction before it is trained on the resolved outcome — the exact
+predict-then-train commit discipline of
+:func:`repro.sim.simulator.simulate`.  That symmetry is the service's
+correctness contract: an online session over a trace's events yields a
+final ``state_hash`` and misprediction count bit-identical to the
+offline simulator over the same stream, and ``tests/test_serving.py``
+enforces it for every registered predictor.
+
+Sessions may open **warm**: the server hydrates the predictor from the
+:class:`~repro.serving.pool.WarmSnapshotPool` (PR 3's ``warm_share``
+snapshots, shared with campaigns through the StateStore) and tells the
+client the absolute position to stream from, so new replicas skip the
+warmup prefix entirely.  Because the warm checkpoint carries the warmup
+prefix's misprediction count, a warm session's summary is still
+bit-identical to a *straight* offline run over the whole trace.
+
+Sessions are connection-scoped: dropping the socket discards their
+state (clients that need durability close sessions explicitly and keep
+the returned ``state_hash``).  The wire vocabulary rides the campaign
+protocol's message registry (``MESSAGE_TYPES`` in
+:mod:`repro.orchestration.remote`) and the same shared-secret auth
+handshake guards untrusted networks.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+from repro.orchestration.registry import standard_registry
+from repro.orchestration.remote import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+    token_matches,
+)
+from repro.orchestration.tasks import PredictorFactory
+from repro.orchestration.telemetry import Telemetry, monotonic
+from repro.predictors.base import hot_path
+from repro.serving.pool import PoolError, WarmSnapshotPool
+
+#: Upper bound on one ``events`` batch; larger batches are refused so a
+#: misbehaving client cannot park the handler thread for minutes.
+MAX_BATCH_EVENTS = 65_536
+
+
+@hot_path
+def predict_batch(predict, train, pcs, outcomes, predictions, mispredictions) -> int:
+    """Per-event serving loop: predict, compare, train — nothing else.
+
+    Mirrors ``simulator._run_counting`` so the online path and the
+    offline oracle execute the same per-event operations in the same
+    order; ``predictions`` is a preallocated list filled in place.
+    """
+    for position in range(len(pcs)):
+        pc = pcs[position]
+        taken = outcomes[position]
+        prediction = predict(pc)
+        if prediction != taken:
+            mispredictions += 1
+        train(pc, taken)
+        predictions[position] = prediction
+    return mispredictions
+
+
+class _Session:
+    """One live predictor bound to a client's event stream."""
+
+    __slots__ = (
+        "session_id",
+        "client",
+        "config",
+        "workload",
+        "predictor",
+        "predict",
+        "train",
+        "position",
+        "mispredictions",
+        "events",
+        "started",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        client: str,
+        config: str,
+        workload: str,
+        predictor,
+        position: int,
+        mispredictions: int,
+        started: float,
+    ) -> None:
+        self.session_id = session_id
+        self.client = client
+        self.config = config
+        self.workload = workload
+        self.predictor = predictor
+        self.predict = predictor.predict
+        self.train = predictor.train
+        self.position = position
+        self.mispredictions = mispredictions
+        self.events = 0
+        self.started = started
+
+
+def default_server_id() -> str:
+    return f"{socket.gethostname()}-serve-{os.getpid()}"
+
+
+class PredictionServer:
+    """Serve prediction sessions to many concurrent clients.
+
+    One daemon thread per connection, same listener discipline as the
+    campaign :class:`~repro.orchestration.distserver.Coordinator`
+    (0.2 s accept timeout so ``stop()`` is prompt).  Shared counters are
+    guarded by ``self._lock``; per-session state lives on the handler
+    thread and needs no lock.
+    """
+
+    def __init__(
+        self,
+        registry: dict[str, PredictorFactory] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool: WarmSnapshotPool | None = None,
+        auth_token: str | None = None,
+        telemetry: Telemetry | None = None,
+        server_id: str | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else standard_registry()
+        self.pool = pool
+        self.auth_token = auth_token
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.server_id = server_id or default_server_id()
+        self._lock = threading.Lock()
+        self._session_seq = 0
+        self._open_sessions = 0
+        self._closed_sessions = 0
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._listener.settimeout(0.2)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self.telemetry.emit(
+            "serve_start",
+            host=self.address[0],
+            port=self.address[1],
+            server_id=self.server_id,
+        )
+
+    # -------------------------------------------------------------- serve
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` is called."""
+        try:
+            while not self._stop.is_set():
+                self._accept_one()
+        finally:
+            self._close_listener()
+
+    def start(self) -> threading.Thread:
+        """Run :meth:`serve_forever` in a daemon thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop accepting; connected handlers drain on their next recv."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._close_listener()
+        with self._lock:
+            closed = self._closed_sessions
+        self.telemetry.emit("serve_stop", sessions=closed, server_id=self.server_id)
+
+    def _close_listener(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _accept_one(self) -> None:
+        try:
+            conn, _addr = self._listener.accept()
+        except socket.timeout:
+            return
+        except OSError:
+            return
+        threading.Thread(target=self._serve_client, args=(conn,), daemon=True).start()
+
+    # --------------------------------------------------------- per-client
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        sessions: dict[str, _Session] = {}
+        client = "?"
+        greeted = False
+        try:
+            while not self._stop.is_set():
+                message = recv_message(sock)
+                kind = message.get("type")
+                if kind == "serve_hello":
+                    reply = self._on_hello(message)
+                    if reply["type"] == "serve_welcome":
+                        greeted = True
+                        client = str(message.get("client"))
+                    else:
+                        send_message(sock, reply)
+                        return
+                elif not greeted:
+                    reply = {"type": "error", "error": "say serve_hello first"}
+                elif kind == "session_open":
+                    reply = self._open_session(message, sessions, client)
+                elif kind == "events":
+                    reply = self._on_events(message, sessions)
+                elif kind == "session_close":
+                    reply = self._close_session(message, sessions)
+                elif kind == "serve_bye":
+                    send_message(sock, {"type": "ok"})
+                    return
+                else:
+                    reply = {"type": "error", "error": f"unknown message {kind!r}"}
+                send_message(sock, reply)
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            if sessions:
+                with self._lock:
+                    self._open_sessions -= len(sessions)
+
+    def _on_hello(self, message: dict) -> dict:
+        if not token_matches(self.auth_token, message.get("token")):
+            self.telemetry.emit("auth_reject", peer=str(message.get("client")))
+            return {"type": "error", "error": "authentication failed"}
+        if message.get("protocol") != PROTOCOL_VERSION:
+            return {
+                "type": "error",
+                "error": (
+                    f"protocol version skew: server {PROTOCOL_VERSION} "
+                    f"vs client {message.get('protocol')}"
+                ),
+            }
+        return {
+            "type": "serve_welcome",
+            "protocol": PROTOCOL_VERSION,
+            "server_id": self.server_id,
+            "pool": self.pool.stats() if self.pool is not None else None,
+        }
+
+    # ----------------------------------------------------------- sessions
+
+    def _open_session(
+        self, message: dict, sessions: dict[str, _Session], client: str
+    ) -> dict:
+        config = str(message.get("config"))
+        workload = str(message.get("workload"))
+        factory = self.registry.get(config)
+        if factory is None:
+            return {
+                "type": "error",
+                "error": f"unknown predictor config {config!r}",
+            }
+        predictor = factory()
+        position = 0
+        mispredictions = 0
+        warmed_from = None
+        if message.get("warm"):
+            if self.pool is None:
+                return {"type": "error", "error": "server has no warm pool"}
+            try:
+                shard = self.pool.acquire(
+                    config,
+                    workload,
+                    branches=message.get("branches"),
+                    warmup=message.get("warmup"),
+                )
+            except PoolError as exc:
+                return {"type": "error", "error": str(exc)}
+            predictor.restore(shard.checkpoint.predictor_state)
+            position = shard.checkpoint.position
+            mispredictions = shard.checkpoint.mispredictions
+            warmed_from = shard.key.label()
+        with self._lock:
+            self._session_seq += 1
+            session_id = f"S{self._session_seq}"
+            self._open_sessions += 1
+        sessions[session_id] = _Session(
+            session_id=session_id,
+            client=client,
+            config=config,
+            workload=workload,
+            predictor=predictor,
+            position=position,
+            mispredictions=mispredictions,
+            started=monotonic(),
+        )
+        self.telemetry.emit(
+            "session_open",
+            session=session_id,
+            client=client,
+            config=config,
+            workload=workload,
+            warm=warmed_from,
+            position=position,
+        )
+        return {
+            "type": "session",
+            "session": session_id,
+            "config": config,
+            "workload": workload,
+            "position": position,
+            "mispredictions": mispredictions,
+            "warmed_from": warmed_from,
+        }
+
+    def _on_events(self, message: dict, sessions: dict[str, _Session]) -> dict:
+        session = sessions.get(str(message.get("session")))
+        if session is None:
+            return {"type": "error", "error": "unknown session"}
+        pcs = message.get("pcs")
+        raw_outcomes = message.get("outcomes")
+        if not isinstance(pcs, list) or not isinstance(raw_outcomes, list):
+            return {"type": "error", "error": "events wants pcs/outcomes lists"}
+        if len(pcs) != len(raw_outcomes):
+            return {
+                "type": "error",
+                "error": f"pcs ({len(pcs)}) and outcomes ({len(raw_outcomes)}) "
+                "differ in length",
+            }
+        if len(pcs) > MAX_BATCH_EVENTS:
+            return {
+                "type": "error",
+                "error": f"batch of {len(pcs)} events exceeds {MAX_BATCH_EVENTS}",
+            }
+        # Normalize wire ints to real bools before the hot loop: the
+        # predictors' state payloads must end up bit-identical to an
+        # offline run that trained on the trace's bool outcomes.
+        outcomes = [bool(value) for value in raw_outcomes]
+        predictions = [False] * len(pcs)
+        session.mispredictions = predict_batch(
+            session.predict,
+            session.train,
+            pcs,
+            outcomes,
+            predictions,
+            session.mispredictions,
+        )
+        session.position += len(pcs)
+        session.events += len(pcs)
+        return {
+            "type": "predictions",
+            "session": session.session_id,
+            "predictions": [1 if prediction else 0 for prediction in predictions],
+            "mispredictions": session.mispredictions,
+            "position": session.position,
+        }
+
+    def _close_session(self, message: dict, sessions: dict[str, _Session]) -> dict:
+        session = sessions.pop(str(message.get("session")), None)
+        if session is None:
+            return {"type": "error", "error": "unknown session"}
+        state_hash = session.predictor.state_hash()
+        with self._lock:
+            self._open_sessions -= 1
+            self._closed_sessions += 1
+        self.telemetry.emit(
+            "session_close",
+            session=session.session_id,
+            client=session.client,
+            events=session.events,
+            mispredictions=session.mispredictions,
+            elapsed_s=round(monotonic() - session.started, 6),
+        )
+        return {
+            "type": "session_summary",
+            "session": session.session_id,
+            "events": session.events,
+            "mispredictions": session.mispredictions,
+            "state_hash": state_hash,
+            "position": session.position,
+        }

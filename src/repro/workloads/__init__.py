@@ -38,9 +38,29 @@ from repro.workloads.suite import (
     SUITE_NAMES,
     build_program,
     build_suite,
-    build_trace,
     trace_names,
 )
+from repro.workloads.suite import build_trace as _build_suite_trace
+from repro.workloads.wild import (
+    DEFAULT_WILD_BRANCHES,
+    WILD_NAMES,
+    build_wild_program,
+    build_wild_trace,
+)
+
+from repro.trace.records import Trace
+
+
+def build_trace(name: str, branches: int | None = None) -> Trace:
+    """Generate any named trace: the 40-trace suite or a wild trace.
+
+    Dispatches on the name so everything that resolves traces by name —
+    ``TraceSpec.suite``, the CLI, the serving warm pool — covers the
+    adversarial wild set with no extra plumbing.
+    """
+    if name in WILD_NAMES:
+        return build_wild_trace(name, branches)
+    return _build_suite_trace(name, branches)
 
 __all__ = [
     "BiasedRun",
@@ -48,6 +68,10 @@ __all__ = [
     "CategoryProfile",
     "ConstantLoop",
     "DEFAULT_BRANCHES",
+    "DEFAULT_WILD_BRANCHES",
+    "WILD_NAMES",
+    "build_wild_program",
+    "build_wild_trace",
     "DistantCorrelation",
     "Fig4Loop",
     "FlagReader",

@@ -1,0 +1,126 @@
+"""Adversarial "wild branch" workloads for the serving load harness.
+
+The Bullseye paper (PAPERS.md) observes that a small set of
+hard-to-predict ("H2P", or *wild*) branches dominates misprediction
+cost: data-dependent branches near 50/50, phase-flipping branches that
+defeat dynamic bias detection, and correlations buried under noise.
+These traces concentrate exactly that content so a serving deployment
+can be load-tested under the client mix that keeps every predictor
+component busy and every prediction expensive — the opposite of the
+calibrated suite traces, which reward each predictor mechanism in turn.
+
+Like the suite, every wild trace is a pure function of its name, so a
+loadgen client and the server warm pool can regenerate the identical
+event stream independently.
+"""
+
+from __future__ import annotations
+
+from repro.trace.records import Trace
+from repro.workloads.cfg import (
+    BiasedRun,
+    DistantCorrelation,
+    LocalPeriodic,
+    NoisyBranch,
+    PhasedBiased,
+    Program,
+    Scene,
+    ShortCorrelation,
+    VariableLoop,
+)
+from repro.workloads.suite import _PcSpace, _seed_of
+
+WILD_NAMES = ("WILD1", "WILD2", "WILD3", "WILD4")
+
+#: Wild traces default shorter than suite traces: a serving session
+#: streams them interactively, and the pathologies need no warm-up ramp.
+DEFAULT_WILD_BRANCHES = 20_000
+
+# Per-trace emphasis: (noise, phase, noisy-correlation, loop-chaos)
+# stream-share weights.  WILD1 is the pure Bernoulli storm, WILD2 the
+# phase-flip storm, WILD3 drowns real correlations in noise, WILD4 mixes
+# everything with erratic loop trip counts.
+_WILD_MIX: dict[str, tuple[int, int, int, int]] = {
+    "WILD1": (60, 10, 10, 10),
+    "WILD2": (15, 55, 10, 10),
+    "WILD3": (15, 10, 55, 10),
+    "WILD4": (25, 20, 25, 25),
+}
+
+
+def _wild_scenes(name: str, seed: int) -> list[tuple[Scene, float]]:
+    noise_w, phase_w, corr_w, loop_w = _WILD_MIX[name]
+    pcs = _PcSpace(seed)
+    scenes: list[tuple[Scene, float]] = []
+
+    # Bernoulli storm: a working set of data-dependent branches whose
+    # taken probability hugs 50% — the irreducible H2P population.
+    storm = 12
+    for i in range(storm):
+        p_taken = 0.38 + 0.02 * (i % 13)
+        scenes.append((NoisyBranch(pcs.block(), p_taken), noise_w / storm))
+
+    # Phase flippers: look biased long enough to be classified as such,
+    # then invert — dynamic bias detection keeps chasing them.
+    for part in range(4):
+        scenes.append(
+            (
+                PhasedBiased(
+                    pcs.block(), count=8, flip_after=60 + 35 * part
+                ),
+                phase_w / 4,
+            )
+        )
+
+    # Correlations that exist but are drowned in noise: a tagged table
+    # can half-learn them, so they keep consuming entries without ever
+    # paying off — the expensive middle ground.
+    for depth, noise in ((4, 0.3), (6, 0.25)):
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-murky{depth}",
+                    biased_filler=20,
+                    nonbiased_filler_pcs=[base + 0x800 + 4 * i for i in range(4)],
+                    filler_repeats=2,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(2)],
+                    noise=noise,
+                    pre_pad=15,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(4)],
+                ),
+                corr_w / 2,
+            )
+        )
+    scenes.append((ShortCorrelation(pcs.block(), depth=5, pre_pad=4), corr_w / 4))
+    scenes.append(
+        (LocalPeriodic(pcs.block(), [True, False, True, True, False]), corr_w / 4)
+    )
+
+    # Loop chaos: trip counts drawn from a wide set every activation, so
+    # neither a loop predictor nor local history converges.
+    scenes.append(
+        (
+            VariableLoop(pcs.block(), [3, 5, 8, 13, 21, 34], BiasedRun(pcs.block(), 2)),
+            loop_w,
+        )
+    )
+    return scenes
+
+
+def build_wild_program(name: str) -> Program:
+    """Build the deterministic program behind one wild trace."""
+    if name not in _WILD_MIX:
+        raise ValueError(f"unknown wild trace {name!r}; expected one of {WILD_NAMES}")
+    seed = _seed_of(name)
+    return Program(
+        name=name, category="WILD", scenes=_wild_scenes(name, seed), seed=seed
+    )
+
+
+def build_wild_trace(name: str, branches: int | None = None) -> Trace:
+    """Generate one adversarial wild-branch trace."""
+    if branches is None:
+        branches = DEFAULT_WILD_BRANCHES
+    return build_wild_program(name).generate(branches)

@@ -213,10 +213,10 @@ class TestTelemetrySchema:
         with pytest.raises(ValueError):
             validate_event({"v": 1, "ts": 0.0, "event": "task_start", "index": 1})
 
-    def test_schema_v3_declares_distribution_kinds(self):
+    def test_schema_declares_distribution_kinds(self):
         from repro.orchestration.telemetry import EVENT_FIELDS, SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
         assert EVENT_FIELDS["executor_join"] == ("executor",)
         assert EVENT_FIELDS["executor_dead"] == ("executor", "reason")
         assert EVENT_FIELDS["lease_grant"] == (
