@@ -40,6 +40,27 @@ python3 -m repro.experiments.profile_assisted --output results/profile_assisted.
 python3 -m repro campaign --predictors oh-snap tage15 bf-neural \
     --jobs "$(nproc)" --telemetry results/campaign-telemetry.jsonl \
     --output results/campaign.txt --quiet
+# Batch-kernel stage: the ported predictors fanned over the suite
+# through the vectorized kernel (docs/vectorization.md). Fingerprints
+# carry |kernel=vectorized, so this populates its own cache entries;
+# the differential sweep first proves bit-identity against the scalar
+# oracle on all 40 suite + 4 wild traces, then the throughput benches
+# append kernel-tagged rows to BENCH_throughput.json and gate >20%
+# events/s regressions against the previous commit's rows.
+REPRO_FULL_DIFFERENTIAL=1 python3 -m pytest tests/test_batchkernel.py \
+    -m vectorized -q || {
+    echo BATCH_KERNEL_DIFFERENTIAL_FAILED
+    exit 1
+}
+python3 -m repro campaign --kernel vectorized \
+    --predictors bimodal gshare perceptron bf-neural \
+    --jobs "$(nproc)" --telemetry results/campaign-vectorized-telemetry.jsonl \
+    --output results/campaign-vectorized.txt --quiet
+python3 -m pytest benchmarks/test_bench_throughput.py -q \
+    -k "vectorized or regression_gate" || {
+    echo BATCH_KERNEL_BENCH_FAILED
+    exit 1
+}
 # Checkpoint/resume stage: the heavyweight configs again with mid-trace
 # state checkpoints streaming into .bfbp-cache/state/. If this script is
 # killed here, re-running it resumes every unfinished task from its last

@@ -24,6 +24,12 @@ REPRO405   Argument packing: ``*args``/``**kwargs`` parameters or call
            unpacking — packs a fresh tuple/dict per call.
 REPRO406   Telemetry/logging calls from the hot closure — event
            emission belongs on the cold rims (campaign/engine layers).
+REPRO407   Python-level ``for`` loop over a numpy array — each
+           iteration boxes an element into a fresh scalar object and
+           pays the interpreter dispatch the array was meant to avoid;
+           vectorize the loop, or ``tolist()`` once and iterate the
+           list.  Deliberately sequential loops (a recurrence each
+           step depends on) are waived by pragma or baselined.
 =========  ===========================================================
 
 Findings can be waived per line or per function with a justified
@@ -52,6 +58,7 @@ RULES = {
     "REPRO404": "lambda/closure built on the hot path",
     "REPRO405": "argument packing on the hot path",
     "REPRO406": "telemetry/logging call on the hot path",
+    "REPRO407": "python-level loop over a numpy array on the hot path",
 }
 
 #: ``# perf: allow(REPRO401, REPRO402): reason`` — reason required.
@@ -77,12 +84,102 @@ _TELEMETRY_TAILS = {
 #: Builtin constructors whose call allocates a container (REPRO401).
 _CONTAINER_CTORS = {"list", "dict", "set", "bytearray"}
 
+#: Method tails whose return value leaves numpy-land: iterating the
+#: result is a plain python loop over python objects, not REPRO407.
+_NP_ESCAPES = {"tolist", "item"}
+
+#: Builtins that forward their iterable: ``zip(a, b)``/``enumerate(a)``
+#: over an array still iterate the array element by element.
+_ITER_FORWARDERS = {"zip", "enumerate", "reversed", "iter", "map", "filter"}
+
+
+def _numpy_aliases(source: ModuleSource) -> set[str]:
+    """Module-level names bound to the numpy package (``np``, ``numpy``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _numpy_class_attrs(source: ModuleSource, aliases: set[str]) -> dict[str, set[str]]:
+    """Class name -> ``self.<attr>`` names assigned from numpy expressions."""
+    attrs: dict[str, set[str]] = {}
+    if not aliases:
+        return attrs
+    for stmt in source.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        names = attrs.setdefault(stmt.name, set())
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not _np_valued(value, aliases, set(), frozenset()):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    names.add(target.attr)
+    return attrs
+
+
+def _np_valued(
+    expr: ast.expr, aliases: set[str], np_locals: set[str], self_attrs: frozenset[str]
+) -> bool:
+    """Conservative: does this expression evaluate to a numpy array?
+
+    Tracks chains rooted at a numpy alias (``np.flatnonzero(x)``), a
+    local already inferred as numpy, or a ``self.<attr>`` the class
+    assigns from numpy; ``.tolist()``/``.item()`` escape numpy-land.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id in np_locals or expr.id in aliases
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return expr.attr in self_attrs
+        return _np_valued(expr.value, aliases, np_locals, self_attrs)
+    if isinstance(expr, ast.Subscript):
+        return _np_valued(expr.value, aliases, np_locals, self_attrs)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _NP_ESCAPES:
+                return False
+            return _np_valued(func.value, aliases, np_locals, self_attrs)
+        return False
+    if isinstance(expr, ast.BinOp):
+        return _np_valued(
+            expr.left, aliases, np_locals, self_attrs
+        ) or _np_valued(expr.right, aliases, np_locals, self_attrs)
+    if isinstance(expr, ast.UnaryOp):
+        return _np_valued(expr.operand, aliases, np_locals, self_attrs)
+    if isinstance(expr, ast.IfExp):
+        return _np_valued(
+            expr.body, aliases, np_locals, self_attrs
+        ) or _np_valued(expr.orelse, aliases, np_locals, self_attrs)
+    if isinstance(expr, ast.Compare):
+        return _np_valued(expr.left, aliases, np_locals, self_attrs) or any(
+            _np_valued(comp, aliases, np_locals, self_attrs)
+            for comp in expr.comparators
+        )
+    return False
+
 
 def check_sources(sources: list[ModuleSource]) -> list[Finding]:
     graph = CallGraph(sources)
     roots = graph.hot_roots()
     chains = graph.transitive_closure(set(roots))
     findings: list[Finding] = []
+    np_context: dict[str, tuple[set[str], dict[str, set[str]]]] = {}
     for qualname, chain in chains.items():
         fn = graph.functions[qualname]
         if fn.module.startswith("repro.analysis"):
@@ -90,8 +187,18 @@ def check_sources(sources: list[ModuleSource]) -> list[Finding]:
         source = graph.sources.get(fn.module)
         if source is None:
             continue
+        context = np_context.get(fn.module)
+        if context is None:
+            aliases = _numpy_aliases(source)
+            context = (aliases, _numpy_class_attrs(source, aliases))
+            np_context[fn.module] = context
+        np_aliases, class_attrs = context
+        self_attrs = frozenset()
+        if fn.class_qualname is not None:
+            class_name = fn.class_qualname.rsplit(".", 1)[-1]
+            self_attrs = frozenset(class_attrs.get(class_name, ()))
         via = " -> ".join(graph.functions[q].symbol for q in chain)
-        checker = _HotFunctionCheck(fn, source, via)
+        checker = _HotFunctionCheck(fn, source, via, np_aliases, self_attrs)
         for finding in checker.run():
             if not _waived(finding, fn, source):
                 findings.append(finding)
@@ -119,12 +226,22 @@ def _waived(finding: Finding, fn: FunctionNode, source: ModuleSource) -> bool:
 
 
 class _HotFunctionCheck:
-    """All six rules over one hot-closure function body."""
+    """All seven rules over one hot-closure function body."""
 
-    def __init__(self, fn: FunctionNode, source: ModuleSource, via: str) -> None:
+    def __init__(
+        self,
+        fn: FunctionNode,
+        source: ModuleSource,
+        via: str,
+        np_aliases: set[str] | None = None,
+        self_np_attrs: frozenset[str] = frozenset(),
+    ) -> None:
         self.fn = fn
         self.source = source
         self.via = via
+        self.np_aliases = np_aliases or set()
+        self.self_np_attrs = self_np_attrs
+        self.np_locals: set[str] = set()
         self.findings: list[Finding] = []
         self._chains_reported: set[str] = set()
 
@@ -160,12 +277,40 @@ class _HotFunctionCheck:
         )
         for annotation in annotations:
             self._error_path_ids.update(id(sub) for sub in ast.walk(annotation))
+        self._infer_np_locals()
         self._check_signature()
         for node in ast.walk(self.fn.node):
             if id(node) not in self._error_path_ids:
                 self._visit(node)
         self._check_loops()
         return self.findings
+
+    def _infer_np_locals(self) -> None:
+        """Local names bound from numpy expressions (REPRO407 roots).
+
+        Two fixed-point passes: the second catches ``b = a[...]`` chains
+        where ``a`` only becomes known-numpy during the first.
+        """
+        if not self.np_aliases and not self.self_np_attrs:
+            return
+        for _ in range(2):
+            before = len(self.np_locals)
+            for node in ast.walk(self.fn.node):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if not _np_valued(
+                    value, self.np_aliases, self.np_locals, self.self_np_attrs
+                ):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.np_locals.add(target.id)
+            if len(self.np_locals) == before:
+                break
 
     def _report(self, rule: str, line: int, message: str, hint: str) -> None:
         self.findings.append(
@@ -242,6 +387,18 @@ class _HotFunctionCheck:
                 "string concatenation/format builds a str per event",
                 "precompute outside the hot path",
             )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            target = self._np_iter_source(node.iter)
+            if target is not None:
+                self._report(
+                    "REPRO407",
+                    node.lineno,
+                    f"python-level for loop iterates numpy array `{target}` "
+                    "element by element",
+                    "vectorize the loop, or `.tolist()` once and iterate the "
+                    "list; a genuinely sequential recurrence is waived with "
+                    "`# perf: allow(REPRO407): <why>`",
+                )
         elif isinstance(node, ast.Call):
             self._visit_call(node)
         elif isinstance(node, ast.Try):
@@ -273,6 +430,38 @@ class _HotFunctionCheck:
                 f"nested def `{node.name}` builds a closure per event",
                 "hoist to module level and pass state explicitly",
             )
+
+    def _np_iter_source(self, iterable: ast.expr) -> str | None:
+        """The numpy array a ``for`` loop would iterate, as source text.
+
+        Looks through the iterable itself, ``zip``/``enumerate``/
+        ``reversed``/``iter``/``map``/``filter`` arguments and
+        ``range(len(arr))`` — all of which still pull one boxed element
+        per iteration out of the array (or index it per event).
+        """
+        def is_np(expr: ast.expr) -> bool:
+            return _np_valued(
+                expr, self.np_aliases, self.np_locals, self.self_np_attrs
+            )
+
+        if is_np(iterable):
+            return ast.unparse(iterable)
+        if isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name):
+            if iterable.func.id in _ITER_FORWARDERS:
+                for arg in iterable.args:
+                    if is_np(arg):
+                        return ast.unparse(arg)
+            elif iterable.func.id == "range":
+                for arg in iterable.args:
+                    if (
+                        isinstance(arg, ast.Call)
+                        and isinstance(arg.func, ast.Name)
+                        and arg.func.id == "len"
+                        and arg.args
+                        and is_np(arg.args[0])
+                    ):
+                        return ast.unparse(arg.args[0])
+        return None
 
     @staticmethod
     def _is_str_build(node: ast.BinOp) -> bool:

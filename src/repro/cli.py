@@ -120,6 +120,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             state_dir=state_dir,
             checkpoint_every=args.checkpoint_every,
+            kernel=args.kernel,
         )
     )
     print(f"{'trace':10s} {'predictor':16s} {'MPKI':>8s} {'rate':>8s}")
@@ -200,6 +201,7 @@ def _campaign_plan(args: argparse.Namespace, jobs: int = 1):
         state_dir=state_dir,
         checkpoint_every=args.checkpoint_every,
         warmup_branches=args.warmup,
+        kernel=getattr(args, "kernel", "scalar"),
     )
 
 
@@ -521,6 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint state store directory (enables resume)",
     )
+    p_sim.add_argument(
+        "--kernel",
+        choices=("scalar", "vectorized", "auto"),
+        default="scalar",
+        help="simulation kernel: the scalar reference loop, the "
+        "vectorized batch kernel (bit-identical, much faster for "
+        "supported predictors), or auto-selection per predictor",
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_camp = sub.add_parser(
@@ -579,6 +589,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=0,
             help="warmup branches excluded from the measured counts",
+        )
+        parser.add_argument(
+            "--kernel",
+            choices=("scalar", "vectorized", "auto"),
+            default="scalar",
+            help="simulation kernel (fingerprints distinguish kernels, "
+            "so scalar and vectorized runs never share a cache entry)",
         )
         parser.add_argument(
             "--output", default=None, help="also write the report here"

@@ -73,9 +73,20 @@ class CampaignPlan:
     checkpoint_every: int | None = None
     warmup_branches: int = 0
     warm_share: dict[str, str] = field(default_factory=dict)
+    #: Simulation kernel for every task: "scalar" | "vectorized" | "auto"
+    #: (see ``repro.sim.batchkernel``).  Non-scalar kernels join the task
+    #: fingerprints, so scalar and vectorized results never share a
+    #: cache entry.
+    kernel: str = "scalar"
     trace_specs: list[TraceSpec] = field(init=False)
 
     def __post_init__(self) -> None:
+        from repro.sim.batchkernel import KERNEL_MODES
+
+        if self.kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, got {self.kernel!r}"
+            )
         self.trace_specs = [TraceSpec.of(trace) for trace in self.traces]
         for variant, source in self.warm_share.items():
             if variant not in self.factories:
@@ -116,10 +127,12 @@ def build_tasks(plan: CampaignPlan) -> list[Task]:
                         plan.track_providers,
                         warmup_branches=plan.warmup_branches,
                         warm_source=warm_source_fp,
+                        kernel=plan.kernel,
                     ),
                     warmup_branches=plan.warmup_branches,
                     checkpoint_every=plan.checkpoint_every,
                     state_dir=state_dir,
+                    kernel=plan.kernel,
                     warm_key=warm_context_key(
                         warm_source_fp, trace_identity, plan.warmup_branches
                     )

@@ -113,6 +113,7 @@ def task_fingerprint(
     track_providers: bool,
     warmup_branches: int = 0,
     warm_source: str = "",
+    kernel: str = "scalar",
 ) -> str:
     """Combine the predictor, trace and measurement mode into one key.
 
@@ -120,8 +121,16 @@ def task_fingerprint(
     predictor fingerprint, empty for plain runs) change the measured
     result, so they are part of the key; the defaults keep fingerprints
     of plain runs identical to the pre-checkpoint scheme.
+
+    ``kernel`` joins the key whenever it is not the scalar default: the
+    vectorized batch kernel is bit-identical by contract, but the
+    contract is enforced by differential tests, not by construction —
+    distinct keys mean a kernel regression can never poison (or be
+    masked by) the scalar cache, and ``auto`` runs never alias either.
     """
     parts = f"{predictor_fp}|{trace_identity}|providers={int(track_providers)}"
     if warmup_branches or warm_source:
         parts += f"|warmup={warmup_branches}|warm_source={warm_source}"
+    if kernel != "scalar":
+        parts += f"|kernel={kernel}"
     return hashlib.sha256(parts.encode()).hexdigest()

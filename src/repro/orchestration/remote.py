@@ -293,6 +293,7 @@ def encode_task(task: Task) -> dict:
         "warmup_branches": task.warmup_branches,
         "checkpoint_every": task.checkpoint_every,
         "state_dir": task.state_dir,
+        "kernel": task.kernel,
     }
 
 
@@ -323,6 +324,7 @@ def decode_task(
         warmup_branches=data.get("warmup_branches", 0),
         checkpoint_every=data.get("checkpoint_every"),
         state_dir=data.get("state_dir"),
+        kernel=data.get("kernel", "scalar"),
     )
     if verify:
         local = task_fingerprint(
@@ -330,6 +332,7 @@ def decode_task(
             spec.identity(),
             task.track_providers,
             warmup_branches=task.warmup_branches,
+            kernel=task.kernel,
         )
         if local != task.fingerprint:
             raise VersionSkewError(

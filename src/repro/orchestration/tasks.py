@@ -142,6 +142,11 @@ class Task:
     warmup_branches: int = 0
     checkpoint_every: int | None = None
     state_dir: str | None = None
+    #: Simulation kernel: "scalar" (the reference loop), "vectorized"
+    #: (require a registered batch kernel) or "auto" (vectorized when one
+    #: supports the predictor, scalar otherwise).  Part of the task
+    #: fingerprint whenever non-scalar — see ``task_fingerprint``.
+    kernel: str = "scalar"
     #: Warm-share source: the context key its warmed state is stored
     #: under, the factory that computes it on a cold store, and which
     #: top-level payload components to transplant (None = all shared).

@@ -53,7 +53,7 @@ class TraceMetadata:
 class Trace:
     """An in-memory branch trace: parallel pc/outcome arrays plus metadata."""
 
-    __slots__ = ("metadata", "outcomes", "pcs")
+    __slots__ = ("_arrays", "metadata", "outcomes", "pcs")
 
     def __init__(
         self, metadata: TraceMetadata, pcs: list[int], outcomes: list[bool]
@@ -65,6 +65,7 @@ class Trace:
         self.metadata = metadata
         self.pcs = pcs
         self.outcomes = outcomes
+        self._arrays = None
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -85,6 +86,23 @@ class Trace:
     def instruction_count(self) -> int:
         """Total instructions represented by the trace (MPKI denominator)."""
         return self.metadata.instruction_count
+
+    def arrays(self):
+        """The branch stream as typed numpy arrays ``(pcs, outcomes)``.
+
+        ``pcs`` is uint64, ``outcomes`` uint8 (0/1).  Built lazily and
+        cached: the vectorized batch kernel (``repro.sim.batchkernel``)
+        replays the same trace across predictors and segments, so the
+        list-to-array conversion is paid once per trace, like loading.
+        """
+        if self._arrays is None:
+            import numpy as np
+
+            self._arrays = (
+                np.fromiter(self.pcs, dtype=np.uint64, count=len(self.pcs)),
+                np.fromiter(self.outcomes, dtype=np.uint8, count=len(self.outcomes)),
+            )
+        return self._arrays
 
     def truncated(self, max_branches: int) -> "Trace":
         """Return a prefix of the trace with a proportionally scaled

@@ -7,6 +7,8 @@ call are pulled into the closure interprocedurally.  ``cold_setup`` and
 ``update`` carries a pragma waiver.
 """
 
+import numpy as np
+
 from repro.predictors.base import BranchPredictor, hot_path
 
 
@@ -68,6 +70,59 @@ def hot_marked_packing(values) -> dict:
     return {value: value for value in values}  # REPRO401 dict comprehension
 
 
+class ArrayLoopPredictor(BranchPredictor):
+    """REPRO407 through a ``self.<attr>`` the class assigns from numpy."""
+
+    name = "array-loop"
+
+    def __init__(self) -> None:
+        self.counters = np.zeros(16, dtype=np.int8)
+
+    def predict(self, pc: int) -> bool:
+        total = 0
+        for counter in self.counters:  # REPRO407 loop over numpy attr
+            total += int(counter)
+        return total >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        # Negative: .tolist() escapes numpy-land before the loop.
+        for counter in self.counters.tolist():
+            if counter:
+                return
+
+
+@hot_path
+def hot_numpy_loop(outcomes) -> int:
+    flags = np.flatnonzero(outcomes)
+    total = 0
+    for index in flags:  # REPRO407 loop over inferred numpy local
+        total += int(index)
+    for index in range(len(flags)):  # REPRO407 range(len(arr)) variant
+        total += index
+    for pair in enumerate(flags):  # REPRO407 iterator-forwarded variant
+        total += pair[0]
+    return total
+
+
+@hot_path
+def hot_numpy_waived(deltas) -> int:
+    prefix = np.cumsum(deltas)
+    total = 0
+    # perf: allow(REPRO407): fixture-sanctioned sequential recurrence
+    for value in prefix:
+        total = max(total, int(value))
+    return total
+
+
 def cold_setup() -> dict:
     # Unmarked free function: outside the closure, no findings.
     return {index: f"slot-{index}" for index in range(8)}
+
+
+def cold_numpy_loop(values) -> int:
+    # Unmarked: the same numpy loop outside the closure, no findings.
+    array = np.asarray(values)
+    total = 0
+    for value in array:
+        total += int(value)
+    return total

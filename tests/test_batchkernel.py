@@ -1,0 +1,297 @@
+"""Differential identity: the vectorized batch kernels vs the scalar loop.
+
+The batch kernel's whole contract is *bit-identity* — same
+mispredictions, same MPKI, same ``state_hash()`` as the scalar
+reference on every trace (``docs/vectorization.md`` explains why the
+rewrites preserve it).  These tests enforce the contract three ways:
+
+* a quick per-predictor sweep over a few suite + wild traces that runs
+  in tier-1 on every commit;
+* a hypothesis harness that replays random traces event by event
+  through the kernel registry and a manual predict/train loop, plus
+  random ``stop_after`` prefix cuts through the public entry points;
+* a full 40-trace + WILD1-4 sweep per ported predictor, marked
+  ``vectorized`` and gated behind ``REPRO_FULL_DIFFERENTIAL=1``
+  (minutes of scalar BF-Neural; ``run_all_experiments.sh`` runs it).
+
+The array-state substrate (``repro.common.tablestate``) gets its own
+differential tests against the scalar twins it replaces: ``mix64``,
+the packed-history shift register, the perceptron's ±1 history and the
+incremental ``FoldedHistory`` fold.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import mix64
+from repro.common.histories import FoldedHistory
+from repro.common.tablestate import (
+    folded_history_series,
+    mix64_array,
+    packed_history_series,
+    signed_history_matrix,
+    table_array,
+    table_list,
+)
+from repro.core import BFNeural
+from repro.predictors import Bimodal, GShare, Tage, TageConfig
+from repro.predictors.perceptron import GlobalPerceptron
+from repro.sim import simulate
+from repro.sim.batchkernel import KERNEL_MODES, kernel_for, simulate_batch
+from repro.trace.records import Trace, TraceMetadata
+from repro.workloads import SUITE_NAMES, WILD_NAMES, build_trace
+
+#: Every predictor with a registered kernel, at test-sized geometries.
+PORTED = {
+    "bimodal": Bimodal,
+    "gshare": GShare,
+    "perceptron": lambda: GlobalPerceptron(256, 24),
+    "bf-neural": BFNeural,
+}
+
+QUICK_TRACES = ("SPEC03", "SPEC17", "WILD2")
+QUICK_BRANCHES = 4_000
+
+
+def _assert_identical(factory, trace, **kwargs):
+    """Run scalar and vectorized twins; assert results and state agree."""
+    scalar_p, vec_p = factory(), factory()
+    scalar = simulate(scalar_p, trace, **kwargs)
+    vec = simulate_batch(vec_p, trace, kernel="vectorized", **kwargs)
+    assert vec.mispredictions == scalar.mispredictions
+    assert vec.mpki == scalar.mpki
+    assert vec.branches == scalar.branches
+    assert vec_p.state_hash() == scalar_p.state_hash()
+    return scalar, vec
+
+
+def _trace_from(events, name="hypo"):
+    pcs = [pc for pc, _ in events]
+    outcomes = [taken for _, taken in events]
+    metadata = TraceMetadata(
+        name=name, category="synthetic", instruction_count=max(1, 5 * len(events))
+    )
+    return Trace(metadata, pcs, outcomes)
+
+
+@pytest.mark.parametrize("name", sorted(PORTED))
+@pytest.mark.parametrize("trace_name", QUICK_TRACES)
+def test_quick_differential(name, trace_name):
+    trace = build_trace(trace_name, QUICK_BRANCHES)
+    _assert_identical(PORTED[name], trace)
+
+
+def test_warmup_exclusion_matches_scalar():
+    trace = build_trace("SPEC05", QUICK_BRANCHES)
+    _assert_identical(Bimodal, trace, warmup_branches=500)
+
+
+def test_provider_attribution_matches_scalar():
+    trace = build_trace("SPEC11", QUICK_BRANCHES)
+    scalar, vec = _assert_identical(BFNeural, trace, track_providers=True)
+    assert vec.provider_hits == scalar.provider_hits
+    assert sum(vec.provider_hits.values()) == len(trace)
+
+
+def test_checkpoint_stream_matches_scalar():
+    trace = build_trace("SPEC08", QUICK_BRANCHES)
+    cuts = {}
+    for label, run in (("scalar", simulate), ("vec", simulate_batch)):
+        collected = []
+        run(
+            GShare(),
+            trace,
+            checkpoint_every=700,
+            on_checkpoint=collected.append,
+        )
+        cuts[label] = [
+            (c.position, c.mispredictions, c.state_hash()) for c in collected
+        ]
+    assert cuts["vec"] == cuts["scalar"]
+    assert cuts["vec"]  # the trace is long enough to cut at least once
+
+
+def test_resume_from_scalar_checkpoint():
+    # A checkpoint cut by the scalar loop resumes bit-identically
+    # through the batch kernel, and vice versa.
+    trace = build_trace("SPEC02", QUICK_BRANCHES)
+    head = simulate(BFNeural(), trace, stop_after=1_500)
+    assert head.checkpoint is not None
+    straight = simulate(BFNeural(), trace)
+    resumed_p = BFNeural()
+    resumed = simulate_batch(
+        resumed_p, trace, kernel="vectorized", resume_from=head.checkpoint
+    )
+    assert resumed.mispredictions == straight.mispredictions
+    vec_head_p = BFNeural()
+    vec_head = simulate_batch(
+        vec_head_p, trace, kernel="vectorized", stop_after=1_500
+    )
+    assert vec_head.checkpoint.state_hash() == head.checkpoint.state_hash()
+    back = simulate(BFNeural(), trace, resume_from=vec_head.checkpoint)
+    assert back.mispredictions == straight.mispredictions
+
+
+class TestDispatch:
+    def test_kernel_modes_constant(self):
+        assert KERNEL_MODES == ("scalar", "vectorized", "auto")
+
+    def test_registry_covers_ported_predictors(self):
+        for factory in PORTED.values():
+            assert kernel_for(factory()) is not None
+
+    def test_registry_rejects_unported_predictor(self):
+        assert kernel_for(Tage(TageConfig.for_tables(4))) is None
+
+    def test_vectorized_mode_raises_for_unported(self):
+        trace = build_trace("SPEC00", 200)
+        with pytest.raises(ValueError, match="no vectorized kernel"):
+            simulate_batch(
+                Tage(TageConfig.for_tables(4)), trace, kernel="vectorized"
+            )
+
+    def test_auto_mode_falls_back_to_scalar(self):
+        trace = build_trace("SPEC00", 1_000)
+        factory = lambda: Tage(TageConfig.for_tables(4))  # noqa: E731
+        scalar_p, auto_p = factory(), factory()
+        scalar = simulate(scalar_p, trace)
+        auto = simulate_batch(auto_p, trace, kernel="auto")
+        assert auto.mispredictions == scalar.mispredictions
+        assert auto_p.state_hash() == scalar_p.state_hash()
+
+    def test_scalar_mode_matches_simulate(self):
+        trace = build_trace("SPEC01", 1_000)
+        scalar_p, batch_p = Bimodal(), Bimodal()
+        scalar = simulate(scalar_p, trace)
+        batch = simulate_batch(batch_p, trace, kernel="scalar")
+        assert batch.mispredictions == scalar.mispredictions
+        assert batch_p.state_hash() == scalar_p.state_hash()
+
+    def test_unknown_kernel_rejected(self):
+        trace = build_trace("SPEC00", 100)
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            simulate_batch(Bimodal(), trace, kernel="simd")
+
+
+class TestArrayStateSubstrate:
+    """tablestate helpers vs the scalar machinery they replace."""
+
+    def test_table_roundtrip(self):
+        values = [0, 1, 2, 3, 2, 1]
+        array = table_array(values, np.uint8)
+        assert array.dtype == np.uint8
+        assert table_list(array) == values
+
+    def test_mix64_array_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**64, size=256, dtype=np.uint64)
+        mixed = mix64_array(values)
+        assert [int(v) for v in mixed] == [mix64(int(v)) for v in values]
+
+    def test_packed_history_matches_shift_register(self):
+        rng = np.random.default_rng(11)
+        outcomes = rng.integers(0, 2, size=300, dtype=np.uint8)
+        bits, seed = 13, 0x1A5
+        series = packed_history_series(outcomes, bits, seed=seed)
+        register, mask_ = seed, (1 << bits) - 1
+        for i, taken in enumerate(outcomes):
+            assert int(series[i]) == register
+            register = ((register << 1) | int(taken)) & mask_
+        assert len(series) == len(outcomes)
+
+    def test_signed_history_matches_scalar_evolution(self):
+        rng = np.random.default_rng(13)
+        outcomes = rng.integers(0, 2, size=200, dtype=np.uint8)
+        length = 9
+        seed = rng.choice(np.array([-1, 1], dtype=np.int32), size=length)
+        matrix = signed_history_matrix(outcomes, length, seed=seed)
+        history = [int(v) for v in seed]  # index 0 newest
+        for i, taken in enumerate(outcomes):
+            assert list(matrix[i]) == history
+            history = [2 * int(taken) - 1] + history[:-1]
+
+    @pytest.mark.parametrize("length,width", [(17, 11), (8, 8), (5, 12)])
+    def test_folded_history_matches_incremental_fold(self, length, width):
+        rng = np.random.default_rng(17)
+        bits = rng.integers(0, 2, size=160, dtype=np.uint8)
+        fold = FoldedHistory(length, width)
+        window = []
+        expected = []
+        for bit in bits:
+            outgoing = window[-length] if len(window) >= length else 0
+            fold.update(int(bit), outgoing)
+            window.append(int(bit))
+            expected.append(fold.value)
+        series = folded_history_series(bits, length, width)
+        assert [int(v) for v in series] == expected
+
+    def test_folded_history_resume_matches_straight_run(self):
+        rng = np.random.default_rng(19)
+        bits = rng.integers(0, 2, size=120, dtype=np.uint8)
+        length, width, cut = 15, 9, 47
+        straight = folded_history_series(bits, length, width)
+        head = folded_history_series(bits[:cut], length, width)
+        tail = folded_history_series(
+            bits[cut:],
+            length,
+            width,
+            seed_value=int(head[-1]),
+            prior_tail=bits[max(0, cut - length) : cut],
+            prior_count=cut,
+        )
+        assert [int(v) for v in tail] == [int(v) for v in straight[cut:]]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    events=st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.booleans()),
+        min_size=1,
+        max_size=120,
+    ),
+)
+def test_random_traces_agree_event_by_event(data, events):
+    """Kernel predictions match a manual predict/train replay per event,
+    and a random prefix cut through the public entry points agrees on
+    counters and state."""
+    name = data.draw(st.sampled_from(sorted(PORTED)))
+    factory = PORTED[name]
+    trace = _trace_from(events)
+    pcs, outcomes = trace.arrays()
+
+    manual = factory()
+    expected = []
+    for pc, taken in events:
+        expected.append(manual.predict(pc))
+        manual.train(pc, bool(taken))
+
+    kerneled = factory()
+    preds, _ = kernel_for(kerneled).run(kerneled, pcs, outcomes, 0, len(events))
+    assert [bool(p) for p in preds] == expected
+    assert kerneled.state_hash() == manual.state_hash()
+
+    cut = data.draw(st.integers(min_value=1, max_value=len(events)))
+    scalar_p, vec_p = factory(), factory()
+    scalar = simulate(scalar_p, trace, stop_after=cut)
+    vec = simulate_batch(vec_p, trace, kernel="vectorized", stop_after=cut)
+    assert vec.mispredictions == scalar.mispredictions
+    assert vec_p.state_hash() == scalar_p.state_hash()
+
+
+@pytest.mark.vectorized
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FULL_DIFFERENTIAL"),
+    reason="full 44-trace sweep; set REPRO_FULL_DIFFERENTIAL=1 "
+    "(run_all_experiments.sh does)",
+)
+@pytest.mark.parametrize("name", sorted(PORTED))
+def test_full_suite_differential(name):
+    """ISSUE acceptance: bit-identity on all 40 suite + 4 wild traces."""
+    for trace_name in tuple(SUITE_NAMES) + tuple(WILD_NAMES):
+        trace = build_trace(trace_name, 12_000)
+        _assert_identical(PORTED[name], trace)
