@@ -61,6 +61,40 @@ python3 -m pytest benchmarks/test_bench_throughput.py -q \
     echo BATCH_KERNEL_BENCH_FAILED
     exit 1
 }
+# Workload-suite stage (docs/workloads.md): resolve the checked-in demo
+# manifest (synthetic + generator + pinned import + mix entries), prove
+# the interchange converter round-trips bit-identically through both
+# text dialects, then run the imported + mixed entries through the
+# campaign engine with the scalar and the vectorized kernel. The two
+# result files must be identical — same MPKI on the same content-
+# addressed suite.
+python3 -m repro suite --manifest examples/suites/demo.toml || {
+    echo SUITE_MANIFEST_RESOLVE_FAILED
+    exit 1
+}
+python3 -m repro convert examples/suites/imported_fp1.csv results/wl.bfbp
+python3 -m repro convert results/wl.bfbp results/wl.bft
+python3 -m repro convert results/wl.bft results/wl2.bfbp
+python3 -m repro convert results/wl2.bfbp results/wl.csv
+cmp results/wl.bfbp results/wl2.bfbp || {
+    echo INTERCHANGE_ROUND_TRIP_FAILED
+    exit 1
+}
+cmp examples/suites/imported_fp1.csv results/wl.csv || {
+    echo INTERCHANGE_ROUND_TRIP_FAILED
+    exit 1
+}
+python3 -m repro campaign "@examples/suites/demo.toml" \
+    --predictors gshare bf-neural \
+    --telemetry results/campaign-suite-telemetry.jsonl \
+    --output results/campaign-suite.txt --quiet
+python3 -m repro campaign "@examples/suites/demo.toml" --kernel vectorized \
+    --predictors gshare \
+    --output results/campaign-suite-vectorized.txt --quiet
+grep gshare results/campaign-suite.txt | cmp - <(grep gshare results/campaign-suite-vectorized.txt) || {
+    echo SUITE_KERNEL_MISMATCH
+    exit 1
+}
 # Checkpoint/resume stage: the heavyweight configs again with mid-trace
 # state checkpoints streaming into .bfbp-cache/state/. If this script is
 # killed here, re-running it resumes every unfinished task from its last

@@ -12,13 +12,16 @@ happens to exercise; this pass closes the gap statically.
 It extracts, from the linted sources themselves:
 
 * every ``<anything>.emit("kind", field=...)`` / ``make_event("kind",
-  ...)`` call with a literal event kind, and
+  ...)`` call with a literal event kind,
 * every dict literal carrying a literal ``"type"`` entry in a
   *protocol module* (one that defines or imports ``send_message`` /
-  ``recv_message``),
+  ``recv_message``), and
+* every dict literal carrying a literal ``"kind"`` entry in a
+  *manifest module* (one that defines or imports ``parse_manifest`` /
+  ``load_manifest``) — suite-manifest entry templates,
 
 and cross-checks them against the ``EVENT_FIELDS`` / ``MESSAGE_TYPES``
-declarations found in the same source set:
+/ ``MANIFEST_TYPES`` declarations found in the same source set:
 
 ========  ============================================================
 REPRO301  emitted event kind is not declared in ``EVENT_FIELDS``
@@ -27,6 +30,10 @@ REPRO302  emit call statically misses a required field of its kind
 REPRO303  protocol message ``type`` is not declared in
           ``MESSAGE_TYPES``
 REPRO304  protocol message literal misses a required field of its type
+          (skipped when the dict contains ``**``-merged parts)
+REPRO305  suite-manifest entry ``kind`` is not declared in
+          ``MANIFEST_TYPES``
+REPRO306  manifest entry literal misses a required key of its kind
           (skipped when the dict contains ``**``-merged parts)
 ========  ============================================================
 
@@ -48,13 +55,19 @@ RULES = {
     "REPRO302": "telemetry emit missing required fields",
     "REPRO303": "undeclared protocol message type",
     "REPRO304": "protocol message missing required fields",
+    "REPRO305": "undeclared suite-manifest entry kind",
+    "REPRO306": "manifest entry missing required keys",
 }
 
 #: Names whose presence (definition or import) marks a protocol module.
 _PROTOCOL_MARKERS = {"send_message", "recv_message"}
 
+#: Names whose presence (definition or import) marks a manifest module.
+_MANIFEST_MARKERS = {"parse_manifest", "load_manifest"}
+
 _EVENT_DECL = "EVENT_FIELDS"
 _MESSAGE_DECL = "MESSAGE_TYPES"
+_MANIFEST_DECL = "MANIFEST_TYPES"
 
 
 def _literal_schema(node: ast.expr) -> dict[str, tuple[str, ...]] | None:
@@ -100,13 +113,14 @@ def _declared(sources: list[ModuleSource], name: str) -> dict[str, tuple[str, ..
     return merged
 
 
-def _is_protocol_module(source: ModuleSource) -> bool:
+def _has_markers(source: ModuleSource, markers: set[str]) -> bool:
+    """True when the module defines or imports any of ``markers``."""
     for node in ast.walk(source.tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if node.name in _PROTOCOL_MARKERS:
+            if node.name in markers:
                 return True
         elif isinstance(node, ast.ImportFrom):
-            if any(alias.name in _PROTOCOL_MARKERS for alias in node.names):
+            if any(alias.name in markers for alias in node.names):
                 return True
     return False
 
@@ -133,12 +147,14 @@ def _emit_calls(source: ModuleSource):
         yield node, first.value, fields, forwards
 
 
-def _message_dicts(source: ModuleSource):
-    """Yield (node, type, literal keys, has_splat) for protocol dicts."""
+def _tagged_dicts(source: ModuleSource, tag: str):
+    """Yield (node, tag value, literal keys, has_splat) for dict
+    literals carrying a literal string ``tag`` entry (``"type"`` for
+    protocol messages, ``"kind"`` for manifest entries)."""
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Dict):
             continue
-        msg_type: str | None = None
+        tag_value: str | None = None
         keys: set[str] = set()
         has_splat = False
         for key, value in zip(node.keys, node.values):
@@ -148,13 +164,13 @@ def _message_dicts(source: ModuleSource):
             if isinstance(key, ast.Constant) and isinstance(key.value, str):
                 keys.add(key.value)
                 if (
-                    key.value == "type"
+                    key.value == tag
                     and isinstance(value, ast.Constant)
                     and isinstance(value.value, str)
                 ):
-                    msg_type = value.value
-        if msg_type is not None:
-            yield node, msg_type, keys, has_splat
+                    tag_value = value.value
+        if tag_value is not None:
+            yield node, tag_value, keys, has_splat
 
 
 def _qualname_at(source: ModuleSource, node: ast.AST) -> str:
@@ -191,6 +207,7 @@ def check_sources(sources: list[ModuleSource]) -> list[Finding]:
     sources = [s for s in sources if not s.module.startswith("repro.analysis")]
     events = _declared(sources, _EVENT_DECL)
     messages = _declared(sources, _MESSAGE_DECL)
+    manifests = _declared(sources, _MANIFEST_DECL)
     findings: list[Finding] = []
 
     if events:
@@ -230,9 +247,9 @@ def check_sources(sources: list[ModuleSource]) -> list[Finding]:
 
     if messages:
         for source in sources:
-            if not _is_protocol_module(source):
+            if not _has_markers(source, _PROTOCOL_MARKERS):
                 continue
-            for node, msg_type, keys, has_splat in _message_dicts(source):
+            for node, msg_type, keys, has_splat in _tagged_dicts(source, "type"):
                 symbol = _qualname_at(source, node)
                 if msg_type not in messages:
                     findings.append(
@@ -263,6 +280,44 @@ def check_sources(sources: list[ModuleSource]) -> list[Finding]:
                             f"field(s) {', '.join(missing)}",
                             hint="include every field MESSAGE_TYPES declares "
                             "for this type",
+                        )
+                    )
+
+    if manifests:
+        for source in sources:
+            if not _has_markers(source, _MANIFEST_MARKERS):
+                continue
+            for node, kind, keys, has_splat in _tagged_dicts(source, "kind"):
+                symbol = _qualname_at(source, node)
+                if kind not in manifests:
+                    findings.append(
+                        Finding(
+                            rule="REPRO305",
+                            file=source.relpath,
+                            line=node.lineno,
+                            symbol=symbol,
+                            message=f"suite-manifest entry kind {kind!r} is "
+                            "not declared in MANIFEST_TYPES",
+                            hint="register the kind (and its required keys) "
+                            "in MANIFEST_TYPES; bump MANIFEST_VERSION on "
+                            "incompatible changes",
+                        )
+                    )
+                    continue
+                if has_splat:
+                    continue
+                missing = sorted(set(manifests[kind]) - keys)
+                if missing:
+                    findings.append(
+                        Finding(
+                            rule="REPRO306",
+                            file=source.relpath,
+                            line=node.lineno,
+                            symbol=symbol,
+                            message=f"manifest entry {kind!r} misses required "
+                            f"key(s) {', '.join(missing)}",
+                            hint="include every key MANIFEST_TYPES declares "
+                            "for this kind (parse_manifest raises at runtime)",
                         )
                     )
 

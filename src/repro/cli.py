@@ -33,10 +33,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import write_trace
 from repro.trace.records import Trace
 from repro.trace.stats import compute_stats
-from repro.workloads import SUITE_NAMES, WILD_NAMES, build_trace, trace_names
+from repro.workloads import build_trace, is_workload, trace_names
 
 
 def _predictor_registry() -> dict:
@@ -47,19 +47,71 @@ def _predictor_registry() -> dict:
 
 
 def _load_trace(spec: str, branches: int | None) -> Trace:
-    """A trace spec is a suite/wild name or a path to a .bfbp file."""
-    if spec in SUITE_NAMES or spec in WILD_NAMES:
+    """A trace spec: workload name, ``@manifest#entry`` ref, or trace file."""
+    if spec.startswith("@"):
+        from repro.workloads import ManifestError, load_manifest, resolve_entry
+
+        manifest_path, sep, entry = spec[1:].partition("#")
+        if not sep or not entry:
+            raise SystemExit(
+                f"manifest trace reference {spec!r} must look like "
+                "'@path/to/suite.toml#ENTRY'"
+            )
+        try:
+            trace = resolve_entry(load_manifest(manifest_path), entry)
+        except ManifestError as exc:
+            raise SystemExit(str(exc))
+        return trace.truncated(branches) if branches else trace
+    if is_workload(spec):
         return build_trace(spec, branches)
     path = Path(spec)
     if path.exists():
-        trace = read_trace(path)
+        from repro.workloads import InterchangeError, read_any
+
+        try:
+            trace = read_any(path)
+        except (InterchangeError, ValueError) as exc:
+            raise SystemExit(str(exc))
         return trace.truncated(branches) if branches else trace
-    raise SystemExit(f"unknown trace {spec!r}: not a suite name or a file")
+    raise SystemExit(
+        f"unknown trace {spec!r}: not a workload name, a @manifest#entry "
+        "reference or a file"
+    )
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.suite_manifest:
+        from repro.workloads import ManifestError, load_manifest
+
+        try:
+            manifest = load_manifest(args.suite_manifest)
+        except ManifestError as exc:
+            raise SystemExit(str(exc))
+        print(
+            f"suite {manifest.name!r} v{manifest.version} "
+            f"(fingerprint {manifest.fingerprint()[:16]})"
+        )
+        for entry in manifest.entries:
+            pin = f"  pin {entry.fingerprint[:16]}" if entry.fingerprint else ""
+            print(f"  {entry.name:14s} {entry.kind:9s}{pin}")
+        return 0
     for name in trace_names(args.categories):
         print(name)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.orchestration import trace_content_fingerprint
+    from repro.workloads import InterchangeError, convert
+
+    try:
+        trace = convert(args.source, args.dest)
+    except (OSError, InterchangeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"{args.dest}  ({len(trace)} branches, "
+        f"fingerprint {trace_content_fingerprint(trace)})"
+    )
     return 0
 
 
@@ -89,8 +141,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _grid_specs(args: argparse.Namespace) -> tuple[dict, list]:
-    """Resolve predictor names and trace specs for a simulation grid."""
-    from repro.orchestration import trace_spec_for
+    """Resolve predictor names and trace specs for a simulation grid.
+
+    A bare ``@suite.toml`` argument expands to every entry the manifest
+    declares; ``@suite.toml#ENTRY`` selects one of them.
+    """
+    from repro.orchestration import expand_trace_arg
 
     registry = _predictor_registry()
     unknown = [name for name in args.predictors if name not in registry]
@@ -99,8 +155,10 @@ def _grid_specs(args: argparse.Namespace) -> tuple[dict, list]:
             f"unknown predictor(s) {unknown}; available: {', '.join(sorted(registry))}"
         )
     factories = {name: registry[name] for name in args.predictors}
+    specs = []
     try:
-        specs = [trace_spec_for(spec, args.branches) for spec in args.traces]
+        for spec in args.traces:
+            specs.extend(expand_trace_arg(spec, args.branches))
     except ValueError as exc:
         raise SystemExit(str(exc))
     return factories, specs
@@ -337,22 +395,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
     from repro.orchestration import Telemetry
-    from repro.serving import PROFILES, ServeError, run_load
+    from repro.serving import PROFILES, ServeError, run_load, suite_profile
 
     host, _, port_text = args.connect.rpartition(":")
     if not port_text.isdigit():
         raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
     address = (host or "127.0.0.1", int(port_text))
-    if args.profile not in PROFILES:
+    if args.suite:
+        try:
+            profile = suite_profile(args.suite)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    elif args.profile not in PROFILES:
         raise SystemExit(
             f"unknown profile {args.profile!r}; "
             f"available: {', '.join(sorted(PROFILES))}"
         )
+    else:
+        profile = args.profile
     with Telemetry(jsonl_path=args.telemetry) as telemetry:
         try:
             report = run_load(
                 address,
-                profile=args.profile,
+                profile=profile,
                 sessions=args.sessions,
                 session_events=args.events,
                 batch=args.batch,
@@ -361,7 +426,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 auth_token=args.auth_token,
                 telemetry=telemetry,
             )
-        except (OSError, ConnectionError, ServeError) as exc:
+        except (OSError, ConnectionError, ServeError, ValueError) as exc:
             raise SystemExit(f"loadgen failed: {exc}")
     print(
         f"{report.profile}: {report.sessions} sessions, {report.events} events, "
@@ -491,7 +556,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="list suite trace names")
     p_suite.add_argument("--categories", nargs="*", default=None)
+    p_suite.add_argument(
+        "--manifest",
+        dest="suite_manifest",
+        default=None,
+        help="list the entries (and pins) of a declarative suite "
+        "manifest instead of the built-in trace names",
+    )
     p_suite.set_defaults(fn=_cmd_suite)
+
+    p_conv = sub.add_parser(
+        "convert",
+        help="convert traces between the BFBP binary format and the "
+        "BFT text/CSV interchange formats (bit-identical round trips)",
+    )
+    p_conv.add_argument("source", help="input trace (.bfbp/.bft/.csv, sniffed)")
+    p_conv.add_argument("dest", help="output trace (format from the extension)")
+    p_conv.set_defaults(fn=_cmd_convert)
 
     p_gen = sub.add_parser("generate", help="write suite traces to .bfbp files")
     p_gen.add_argument("out_dir")
@@ -545,7 +626,8 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "traces",
             nargs="*",
-            help="suite names or .bfbp files (default: full suite)",
+            help="workload names, .bfbp files, @suite.toml manifests or "
+            "@suite.toml#ENTRY references (default: full suite)",
         )
         parser.add_argument("--categories", nargs="*", default=None)
         parser.add_argument("--predictors", nargs="+", default=["bf-neural"])
@@ -747,6 +829,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         default="mixed",
         help="client mix: steady | wild | mixed",
+    )
+    p_load.add_argument(
+        "--suite",
+        default=None,
+        help="drive the entries of a declarative suite manifest instead "
+        "of a built-in profile (sessions run cold: the server cannot "
+        "warm-pool workloads it cannot regenerate by name)",
     )
     p_load.add_argument(
         "--sessions", type=int, default=100, help="concurrent sessions to run"

@@ -24,7 +24,11 @@ from repro.orchestration.fingerprint import (
     trace_content_fingerprint,
 )
 from repro.orchestration.manifest import CampaignManifest, campaign_id_of
-from repro.orchestration.registry import standard_registry, trace_spec_for
+from repro.orchestration.registry import (
+    expand_trace_arg,
+    standard_registry,
+    trace_spec_for,
+)
 from repro.orchestration.remote import (
     DEFAULT_REGISTRY,
     ProtocolError,
@@ -73,6 +77,7 @@ __all__ = [
     "serve_campaign",
     "standard_registry",
     "task_fingerprint",
+    "expand_trace_arg",
     "trace_content_fingerprint",
     "trace_spec_for",
     "validate_event",

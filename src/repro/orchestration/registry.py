@@ -100,12 +100,45 @@ def standard_registry() -> dict[str, PredictorFactory]:
 
 
 def trace_spec_for(spec: str, branches: int | None = None) -> TraceSpec:
-    """Map a CLI trace argument (suite/wild name or .bfbp path) to a spec."""
-    from repro.workloads import SUITE_NAMES, WILD_NAMES
+    """Map a CLI trace argument to a spec.
 
-    if spec in SUITE_NAMES or spec in WILD_NAMES:
+    Accepts any registered workload name (the calibrated suite, the
+    wild set, the sparse set — everything ``repro.workloads.registry``
+    resolves), a ``@manifest.toml#ENTRY`` suite-manifest reference, or
+    a trace file path.
+    """
+    from repro.workloads import is_workload
+
+    if spec.startswith("@"):
+        manifest_path, sep, entry = spec[1:].partition("#")
+        if not sep or not entry or not manifest_path:
+            raise ValueError(
+                f"manifest trace reference {spec!r} must look like "
+                "'@path/to/suite.toml#ENTRY' (or bare '@path/to/suite.toml' "
+                "where a whole-suite expansion is accepted)"
+            )
+        return TraceSpec.from_manifest(manifest_path, entry)
+    if is_workload(spec):
         return TraceSpec.suite(spec, branches)
     path = Path(spec)
     if path.exists():
         return TraceSpec.from_file(path, branches)
-    raise ValueError(f"unknown trace {spec!r}: not a suite name or a file")
+    raise ValueError(
+        f"unknown trace {spec!r}: not a workload name, a @manifest#entry "
+        "reference or a file"
+    )
+
+
+def expand_trace_arg(spec: str, branches: int | None = None) -> list[TraceSpec]:
+    """Like :func:`trace_spec_for`, but a bare ``@manifest`` (no
+    ``#entry``) expands to one spec per manifest entry — the CLI's way
+    of running a whole declared suite."""
+    if spec.startswith("@") and "#" not in spec:
+        from repro.workloads.manifest import load_manifest
+
+        manifest = load_manifest(spec[1:])
+        return [
+            TraceSpec.from_manifest(spec[1:], name)
+            for name in manifest.entry_names()
+        ]
+    return [trace_spec_for(spec, branches)]

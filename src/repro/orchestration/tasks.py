@@ -24,9 +24,9 @@ PredictorFactory = Callable[[], BranchPredictor]
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """How to obtain one trace: by suite name, from a file, or inline."""
+    """How to obtain one trace: suite name, manifest entry, file, or inline."""
 
-    kind: str  # "suite" | "file" | "inline"
+    kind: str  # "suite" | "manifest" | "file" | "inline"
     name: str
     branches: int | None = None
     path: str | None = None
@@ -35,6 +35,11 @@ class TraceSpec:
     @classmethod
     def suite(cls, name: str, branches: int | None = None) -> "TraceSpec":
         return cls(kind="suite", name=name, branches=branches)
+
+    @classmethod
+    def from_manifest(cls, path: str | Path, entry: str) -> "TraceSpec":
+        """One entry of a suite manifest (``repro.workloads.manifest``)."""
+        return cls(kind="manifest", name=entry, path=str(path))
 
     @classmethod
     def from_file(cls, path: str | Path, branches: int | None = None) -> "TraceSpec":
@@ -57,6 +62,17 @@ class TraceSpec:
             from repro.workloads import build_trace
 
             return build_trace(self.name, self.branches)
+        if self.kind == "manifest":
+            if self.payload is not None:
+                return self.payload
+            from repro.workloads.manifest import load_manifest, resolve_entry
+
+            trace = resolve_entry(load_manifest(self.path), self.name)
+            # Memoized through the non-compared payload slot: manifest
+            # resolution re-reads (and may re-generate) the suite, so
+            # identity() and repeated resolve() calls share one trace.
+            object.__setattr__(self, "payload", trace)
+            return trace
         if self.kind == "file":
             from repro.trace.io import read_trace
 
@@ -73,6 +89,15 @@ class TraceSpec:
         """
         if self.kind == "suite":
             return f"suite:{self.name}:{self.branches}"
+        if self.kind == "manifest":
+            from repro.workloads.manifest import load_manifest
+
+            manifest = load_manifest(self.path)
+            content = trace_content_fingerprint(self.resolve())
+            # Suite digest *and* resolved content: the first pins which
+            # declared suite the task meant, the second catches file/
+            # generator drift underneath an unchanged manifest.
+            return f"manifest:{manifest.fingerprint()}:{self.name}:{content}"
         if self.kind == "file":
             import hashlib
 
@@ -91,9 +116,12 @@ class TraceSpec:
 
         Inline traces are refused: they exist only in the coordinator's
         memory, so a remote executor could never rebuild them — the
-        distribution layer requires suite or file traces (whose recipes
-        are host-portable) exactly like the process-pool scheduler
-        prefers them for payload size.
+        distribution layer requires suite, manifest or file traces
+        (whose recipes are host-portable) exactly like the process-pool
+        scheduler prefers them for payload size.  Manifest specs travel
+        as (path, entry); the executor resolves its own copy of the
+        manifest, and the content-addressed task fingerprint rejects the
+        task if that copy drifted from the coordinator's.
         """
         if self.kind == "inline":
             raise ValueError(
@@ -111,7 +139,7 @@ class TraceSpec:
     def from_wire(cls, data: dict) -> "TraceSpec":
         """Inverse of :meth:`to_wire`."""
         kind = data.get("kind")
-        if kind not in ("suite", "file"):
+        if kind not in ("suite", "manifest", "file"):
             raise ValueError(f"undistributable trace spec kind {kind!r}")
         return cls(
             kind=kind,

@@ -24,6 +24,7 @@ from repro.serving.loadgen import (
     LoadReport,
     percentile,
     run_load,
+    suite_profile,
 )
 from repro.serving.pool import (
     DEFAULT_WARMUP,
@@ -52,4 +53,5 @@ __all__ = [
     "percentile",
     "predict_batch",
     "run_load",
+    "suite_profile",
 ]

@@ -52,6 +52,42 @@ class LoadProfile:
         )
 
 
+def suite_profile(
+    manifest_path: str,
+    configs: tuple[str, ...] = ("bf-tage10", "gshare", "bf-neural"),
+) -> LoadProfile:
+    """A load profile driving every entry of a declarative suite manifest.
+
+    Workloads are ``@manifest#entry`` references, resolved client-side
+    through :mod:`repro.workloads.manifest` (pins checked).  The server
+    only sees the reference as a session label, so suite sessions always
+    run *cold* — the warm snapshot pool can only hydrate workloads it
+    can regenerate by registry name.
+    """
+    from repro.workloads import load_manifest
+
+    manifest = load_manifest(manifest_path)
+    return LoadProfile(
+        name=f"suite:{manifest.name}",
+        workloads=tuple(
+            f"@{manifest_path}#{entry}" for entry in manifest.entry_names()
+        ),
+        configs=tuple(configs),
+        description=f"entries of suite manifest {manifest_path}",
+    )
+
+
+def _build_workload(workload: str, session_events: int) -> Trace:
+    """Resolve one profile workload: registry name or ``@manifest#entry``."""
+    if workload.startswith("@"):
+        from repro.workloads import load_manifest, resolve_entry
+
+        manifest_path, _, entry = workload[1:].partition("#")
+        trace = resolve_entry(load_manifest(manifest_path), entry)
+        return trace.truncated(session_events) if session_events else trace
+    return build_trace(workload, session_events)
+
+
 #: Built-in client mixes, keyed by name for the CLI.
 PROFILES: dict[str, LoadProfile] = {
     "steady": LoadProfile(
@@ -208,10 +244,15 @@ def run_load(
 
     # Build each distinct trace once; sessions share them read-only.
     assignments = [profile.pick(index) for index in range(sessions)]
+    if warm and any(workload.startswith("@") for _c, workload in assignments):
+        raise ValueError(
+            "manifest-suite sessions must run cold: the server's warm "
+            "pool can only regenerate registry-named workloads"
+        )
     traces: dict[str, Trace] = {}
     for _config, workload in assignments:
         if workload not in traces:
-            traces[workload] = build_trace(workload, session_events)
+            traces[workload] = _build_workload(workload, session_events)
 
     latencies: list[float] = []
     summaries: list[dict] = []

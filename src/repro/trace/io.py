@@ -1,13 +1,23 @@
 """Compact binary trace format.
 
-Layout (little-endian):
+Layout of BFBP version 2 (little-endian):
 
 * magic ``b"BFBP"`` and a format version byte,
 * a JSON metadata block (length-prefixed) holding ``TraceMetadata``,
 * the branch count as a u64,
 * the pc stream, delta-encoded as signed LEB128 varints (branch PCs
   cluster tightly, so deltas are small),
-* the outcome stream, bit-packed 8 branches per byte.
+* the outcome stream, bit-packed 8 branches per byte,
+* a CRC32 trailer (u32) over everything after the magic.
+
+The checksum is what makes "malformed input" a *hard error*: a BFBP
+file with any corrupted byte raises :class:`TraceFormatError` instead
+of silently decoding wrong branches, which matters now that traces are
+imported from external tools through the interchange converter
+(``repro.workloads.interchange``) and pinned by content fingerprint in
+suite manifests (``repro.workloads.manifest``).  Version 1 files (no
+checksum) are no longer readable; regenerate them with
+``repro generate`` or ``repro convert``.
 
 The format exists so generated workload suites can be produced once and
 re-read by experiments and benchmarks without regeneration cost.
@@ -16,20 +26,24 @@ re-read by experiments and benchmarks without regeneration cost.
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 from repro.trace.records import Trace, TraceMetadata
 
 _MAGIC = b"BFBP"
-_VERSION = 1
+_VERSION = 2
+#: magic + version + meta length + branch count + CRC trailer.
+_MIN_SIZE = 4 + 1 + 4 + 8 + 4
 
 
 class TraceFormatError(ValueError):
     """A trace file is not readable as the BFBP format.
 
-    Raised for a bad magic or an unknown format version byte; carries
-    the offending ``version`` (None for bad magic) so callers can tell
-    "not a trace file at all" from "a trace from a newer writer".
+    Raised for a bad magic, an unknown format version byte, a checksum
+    mismatch or a structurally truncated file; carries the offending
+    ``version`` (None for bad magic) so callers can tell "not a trace
+    file at all" from "a trace from a newer writer".
     """
 
     def __init__(self, message: str, version: int | None = None) -> None:
@@ -56,10 +70,12 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+def _read_varint(data: bytes, offset: int, end: int) -> tuple[int, int]:
     result = 0
     shift = 0
     while True:
+        if offset >= end:
+            raise IndexError("varint runs past the payload end")
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
@@ -68,8 +84,8 @@ def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
         shift += 7
 
 
-def write_trace(trace: Trace, path: str | Path) -> None:
-    """Serialize a trace to ``path`` in the BFBP binary format."""
+def trace_to_bytes(trace: Trace) -> bytes:
+    """Serialize a trace to BFBP bytes (the exact ``write_trace`` image)."""
     meta = {
         "name": trace.metadata.name,
         "category": trace.metadata.category,
@@ -96,50 +112,84 @@ def write_trace(trace: Trace, path: str | Path) -> None:
         if taken:
             packed[index >> 3] |= 1 << (index & 7)
     out += packed
+    out += (zlib.crc32(out[4:]) & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
 
-    Path(path).write_bytes(bytes(out))
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to ``path`` in the BFBP binary format."""
+    Path(path).write_bytes(trace_to_bytes(trace))
+
+
+def trace_from_bytes(data: bytes, label: str = "<bytes>") -> Trace:
+    """Deserialize BFBP bytes; ``label`` names the source in errors."""
+    if data[:4] != _MAGIC:
+        raise TraceFormatError(
+            f"{label}: not a BFBP trace file (bad magic {data[:4]!r})"
+        )
+    if len(data) < 5:
+        raise TraceFormatError(f"{label}: truncated BFBP header (no version byte)")
+    version = data[4]
+    if version != _VERSION:
+        raise TraceFormatError(
+            f"{label}: unsupported trace format version {version} "
+            f"(this reader understands version {_VERSION})",
+            version=version,
+        )
+    if len(data) < _MIN_SIZE:
+        raise TraceFormatError(
+            f"{label}: truncated BFBP file ({len(data)} bytes)", version=version
+        )
+    stored_crc = int.from_bytes(data[-4:], "little")
+    actual_crc = zlib.crc32(data[4:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise TraceFormatError(
+            f"{label}: BFBP checksum mismatch (stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}) — the file is corrupt or truncated",
+            version=version,
+        )
+    end = len(data) - 4
+    try:
+        meta_len = int.from_bytes(data[5:9], "little")
+        meta_end = 9 + meta_len
+        if meta_end + 8 > end:
+            raise IndexError("metadata block runs past the payload end")
+        meta = json.loads(data[9:meta_end].decode("utf-8"))
+        count = int.from_bytes(data[meta_end : meta_end + 8], "little")
+        offset = meta_end + 8
+
+        pcs: list[int] = []
+        previous_pc = 0
+        for _ in range(count):
+            delta, offset = _read_varint(data, offset, end)
+            previous_pc += _zigzag_decode(delta)
+            pcs.append(previous_pc)
+
+        packed_len = (count + 7) // 8
+        if offset + packed_len != end:
+            raise IndexError("outcome stream length mismatch")
+        outcomes: list[bool] = []
+        for index in range(count):
+            byte = data[offset + (index >> 3)]
+            outcomes.append(bool(byte & (1 << (index & 7))))
+
+        metadata = TraceMetadata(
+            name=meta["name"],
+            category=meta["category"],
+            instruction_count=meta["instruction_count"],
+            seed=meta.get("seed", 0),
+            extra=meta.get("extra", {}),
+        )
+    except (IndexError, KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+        # The checksum passed, so a structural error here means the file
+        # was written by a buggy/foreign writer — still a hard error.
+        raise TraceFormatError(
+            f"{label}: malformed BFBP structure ({exc})", version=version
+        ) from exc
+
+    return Trace(metadata, pcs, outcomes)
 
 
 def read_trace(path: str | Path) -> Trace:
     """Deserialize a trace previously written by :func:`write_trace`."""
-    data = Path(path).read_bytes()
-    if data[:4] != _MAGIC:
-        raise TraceFormatError(
-            f"{path}: not a BFBP trace file (bad magic {data[:4]!r})"
-        )
-    if len(data) < 5:
-        raise TraceFormatError(f"{path}: truncated BFBP header (no version byte)")
-    version = data[4]
-    if version != _VERSION:
-        raise TraceFormatError(
-            f"{path}: unsupported trace format version {version} "
-            f"(this reader understands version {_VERSION})",
-            version=version,
-        )
-
-    meta_len = int.from_bytes(data[5:9], "little")
-    meta_end = 9 + meta_len
-    meta = json.loads(data[9:meta_end].decode("utf-8"))
-    count = int.from_bytes(data[meta_end : meta_end + 8], "little")
-    offset = meta_end + 8
-
-    pcs: list[int] = []
-    previous_pc = 0
-    for _ in range(count):
-        delta, offset = _read_varint(data, offset)
-        previous_pc += _zigzag_decode(delta)
-        pcs.append(previous_pc)
-
-    outcomes: list[bool] = []
-    for index in range(count):
-        byte = data[offset + (index >> 3)]
-        outcomes.append(bool(byte & (1 << (index & 7))))
-
-    metadata = TraceMetadata(
-        name=meta["name"],
-        category=meta["category"],
-        instruction_count=meta["instruction_count"],
-        seed=meta.get("seed", 0),
-        extra=meta.get("extra", {}),
-    )
-    return Trace(metadata, pcs, outcomes)
+    return trace_from_bytes(Path(path).read_bytes(), label=str(path))

@@ -120,7 +120,17 @@ class Trace:
             seed=self.metadata.seed,
             extra=dict(self.metadata.extra),
         )
-        return Trace(metadata, self.pcs[:max_branches], self.outcomes[:max_branches])
+        prefix = Trace(metadata, self.pcs[:max_branches], self.outcomes[:max_branches])
+        if self._arrays is not None:
+            # Re-slice the cached typed views instead of rebuilding them:
+            # the prefix trace is born with views consistent with its
+            # lists, and copies keep the parent's arrays collectable.
+            pcs_arr, outcomes_arr = self._arrays
+            prefix._arrays = (
+                pcs_arr[:max_branches].copy(),
+                outcomes_arr[:max_branches].copy(),
+            )
+        return prefix
 
     def static_branches(self) -> set[int]:
         """The set of distinct branch PCs appearing in the trace."""

@@ -32,7 +32,45 @@ from repro.workloads.cfg import (
     TraceBuilder,
     VariableLoop,
 )
+from repro.workloads.interchange import (
+    INTERCHANGE_VERSION,
+    InterchangeError,
+    convert,
+    format_csv,
+    format_text,
+    parse_csv,
+    parse_text,
+    read_any,
+    write_any,
+)
+from repro.workloads.manifest import (
+    MANIFEST_TYPES,
+    MANIFEST_VERSION,
+    ManifestError,
+    SuiteEntry,
+    SuiteManifest,
+    load_manifest,
+    parse_manifest,
+    resolve_entry,
+    resolve_suite,
+)
+from repro.workloads.mix import DEFAULT_CHUNK, compose_mix
 from repro.workloads.profiles import CategoryProfile, categories, profile_for
+from repro.workloads.registry import (
+    generator_families,
+    is_workload,
+    register_family,
+    register_generator,
+    resolve_workload,
+    workload_names,
+)
+from repro.workloads.sparse import (
+    DEFAULT_SPARSE_BRANCHES,
+    SPARSE_NAMES,
+    build_sparse_program,
+    build_sparse_trace,
+    custom_sparse_program,
+)
 from repro.workloads.suite import (
     DEFAULT_BRANCHES,
     SUITE_NAMES,
@@ -40,27 +78,27 @@ from repro.workloads.suite import (
     build_suite,
     trace_names,
 )
-from repro.workloads.suite import build_trace as _build_suite_trace
 from repro.workloads.wild import (
     DEFAULT_WILD_BRANCHES,
     WILD_NAMES,
     build_wild_program,
     build_wild_trace,
+    custom_wild_program,
 )
 
 from repro.trace.records import Trace
 
 
 def build_trace(name: str, branches: int | None = None) -> Trace:
-    """Generate any named trace: the 40-trace suite or a wild trace.
+    """Generate any registered named trace.
 
-    Dispatches on the name so everything that resolves traces by name —
-    ``TraceSpec.suite``, the CLI, the serving warm pool — covers the
-    adversarial wild set with no extra plumbing.
+    Dispatches through :mod:`repro.workloads.registry` so everything
+    that resolves traces by name — ``TraceSpec.suite``, the CLI, the
+    serving warm pool — covers every family (the calibrated suite, the
+    adversarial wild set, the sparse long-range set) with no extra
+    plumbing.
     """
-    if name in WILD_NAMES:
-        return build_wild_trace(name, branches)
-    return _build_suite_trace(name, branches)
+    return resolve_workload(name, branches)
 
 __all__ = [
     "BiasedRun",
@@ -68,10 +106,42 @@ __all__ = [
     "CategoryProfile",
     "ConstantLoop",
     "DEFAULT_BRANCHES",
+    "DEFAULT_CHUNK",
+    "DEFAULT_SPARSE_BRANCHES",
     "DEFAULT_WILD_BRANCHES",
+    "INTERCHANGE_VERSION",
+    "InterchangeError",
+    "MANIFEST_TYPES",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "SPARSE_NAMES",
+    "SuiteEntry",
+    "SuiteManifest",
     "WILD_NAMES",
+    "convert",
+    "format_csv",
+    "format_text",
+    "load_manifest",
+    "parse_csv",
+    "parse_manifest",
+    "parse_text",
+    "read_any",
+    "resolve_entry",
+    "resolve_suite",
+    "write_any",
+    "build_sparse_program",
+    "build_sparse_trace",
     "build_wild_program",
     "build_wild_trace",
+    "compose_mix",
+    "custom_sparse_program",
+    "custom_wild_program",
+    "generator_families",
+    "is_workload",
+    "register_family",
+    "register_generator",
+    "resolve_workload",
+    "workload_names",
     "DistantCorrelation",
     "Fig4Loop",
     "FlagReader",

@@ -1,0 +1,330 @@
+"""Text/CSV trace interchange: the import path for external traces.
+
+The BFBP binary format (:mod:`repro.trace.io`) is compact but opaque;
+external tracers (pintools, QEMU plugins, spreadsheet-era branch dumps)
+produce text.  This module defines the documented interchange formats
+and the converter between them and BFBP:
+
+**BFT text dialect** (``.bft``) — one branch per line::
+
+    #%BFT 1
+    #! name: IMPORTED1
+    #! category: EXT
+    #! instruction_count: 5000
+    #! seed: 0
+    #! extra.source_tool: 3.0
+    0x400000 1
+    0x400008 0
+
+**BFT CSV dialect** (``.csv``) — the same directive block, then a
+``pc,taken`` header row and comma-separated records::
+
+    #%BFT-CSV 1
+    #! name: IMPORTED1
+    ...
+    pc,taken
+    0x400000,1
+    0x400008,0
+
+Both dialects open with a versioned magic line (``#%BFT 1`` /
+``#%BFT-CSV 1``); unknown versions are a hard error, as is every other
+malformed input — unknown metadata keys, duplicate directives, missing
+required metadata, non-``0``/``1`` outcomes, junk record lines.  There
+is no lenient mode: an import either produces exactly the branch stream
+the exporter wrote, or it raises :class:`InterchangeError` naming the
+offending line.
+
+The writers are *canonical*: fixed directive order, lowercase ``0x``
+hex pcs, sorted ``extra`` keys, one trailing newline.  Canonical text →
+:func:`convert` → BFBP → :func:`convert` → text is byte-identical, which
+is what lets suite manifests pin imported traces by content fingerprint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace.io import trace_from_bytes, write_trace
+from repro.trace.records import Trace, TraceMetadata
+
+#: Interchange format version written and accepted by this module.
+INTERCHANGE_VERSION = 1
+
+_TEXT_MAGIC = "#%BFT"
+_CSV_MAGIC = "#%BFT-CSV"
+_CSV_HEADER = "pc,taken"
+
+#: Closed set of scalar metadata directives (``extra.*`` rides on top).
+_SCALAR_KEYS = ("name", "category", "instruction_count", "seed")
+_REQUIRED_KEYS = ("name", "category", "instruction_count")
+
+
+class InterchangeError(ValueError):
+    """An interchange document is malformed; carries the source line."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        super().__init__(message)
+        self.line = line
+
+
+def _directive_block(trace: Trace) -> list[str]:
+    meta = trace.metadata
+    lines = [
+        f"#! name: {meta.name}",
+        f"#! category: {meta.category}",
+        f"#! instruction_count: {meta.instruction_count}",
+        f"#! seed: {meta.seed}",
+    ]
+    for key in sorted(meta.extra):
+        lines.append(f"#! extra.{key}: {float(meta.extra[key])!r}")
+    return lines
+
+
+def format_text(trace: Trace) -> str:
+    """Render a trace in the canonical BFT text dialect."""
+    lines = [f"{_TEXT_MAGIC} {INTERCHANGE_VERSION}", *_directive_block(trace)]
+    for pc, taken in zip(trace.pcs, trace.outcomes):
+        lines.append(f"{pc:#x} {int(taken)}")
+    return "\n".join(lines) + "\n"
+
+
+def format_csv(trace: Trace) -> str:
+    """Render a trace in the canonical BFT CSV dialect."""
+    lines = [
+        f"{_CSV_MAGIC} {INTERCHANGE_VERSION}",
+        *_directive_block(trace),
+        _CSV_HEADER,
+    ]
+    for pc, taken in zip(trace.pcs, trace.outcomes):
+        lines.append(f"{pc:#x},{int(taken)}")
+    return "\n".join(lines) + "\n"
+
+
+def _fail(label: str, line_no: int, message: str) -> InterchangeError:
+    return InterchangeError(f"{label}:{line_no}: {message}", line=line_no)
+
+
+def _parse_magic(label: str, line_no: int, line: str, magic: str) -> None:
+    parts = line.split()
+    if len(parts) != 2 or parts[0] != magic:
+        raise _fail(
+            label, line_no,
+            f"expected interchange magic {magic!r} <version>, got {line!r}",
+        )
+    if parts[1] != str(INTERCHANGE_VERSION):
+        raise _fail(
+            label, line_no,
+            f"unsupported interchange version {parts[1]!r} "
+            f"(this reader understands version {INTERCHANGE_VERSION})",
+        )
+
+
+def _parse_directive(
+    label: str, line_no: int, line: str,
+    scalars: dict[str, str], extra: dict[str, float],
+) -> None:
+    body = line[2:].strip()
+    key, sep, value = body.partition(":")
+    key = key.strip()
+    value = value.strip()
+    if not sep or not key or not value:
+        raise _fail(label, line_no, f"malformed directive {line!r} (want '#! key: value')")
+    if key.startswith("extra."):
+        extra_key = key[len("extra."):]
+        if not extra_key:
+            raise _fail(label, line_no, "empty extra metadata key")
+        if extra_key in extra:
+            raise _fail(label, line_no, f"duplicate directive {key!r}")
+        try:
+            extra[extra_key] = float(value)
+        except ValueError:
+            raise _fail(label, line_no, f"extra value {value!r} is not a number") from None
+        return
+    if key not in _SCALAR_KEYS:
+        raise _fail(
+            label, line_no,
+            f"unknown metadata key {key!r}; known keys: "
+            f"{', '.join(_SCALAR_KEYS)}, extra.*",
+        )
+    if key in scalars:
+        raise _fail(label, line_no, f"duplicate directive {key!r}")
+    scalars[key] = value
+
+
+def _parse_record(label: str, line_no: int, pc_token: str, taken_token: str) -> tuple[int, bool]:
+    try:
+        pc = int(pc_token, 0)
+    except ValueError:
+        raise _fail(label, line_no, f"bad pc {pc_token!r}") from None
+    if pc < 0:
+        raise _fail(label, line_no, f"pc must be non-negative, got {pc_token!r}")
+    if taken_token not in ("0", "1"):
+        raise _fail(
+            label, line_no,
+            f"outcome must be 0 or 1, got {taken_token!r}",
+        )
+    return pc, taken_token == "1"
+
+
+def _build_trace(
+    label: str, scalars: dict[str, str], extra: dict[str, float],
+    pcs: list[int], outcomes: list[bool],
+) -> Trace:
+    missing = [key for key in _REQUIRED_KEYS if key not in scalars]
+    if missing:
+        raise InterchangeError(
+            f"{label}: missing required metadata: {', '.join(missing)}"
+        )
+    try:
+        instruction_count = int(scalars["instruction_count"])
+        seed = int(scalars.get("seed", "0"))
+    except ValueError as exc:
+        raise InterchangeError(f"{label}: non-integer metadata ({exc})") from None
+    try:
+        metadata = TraceMetadata(
+            name=scalars["name"],
+            category=scalars["category"],
+            instruction_count=instruction_count,
+            seed=seed,
+            extra=extra,
+        )
+    except ValueError as exc:
+        raise InterchangeError(f"{label}: {exc}") from None
+    return Trace(metadata, pcs, outcomes)
+
+
+def parse_text(text: str, label: str = "<text>") -> Trace:
+    """Parse the BFT text dialect; malformed input is a hard error."""
+    scalars: dict[str, str] = {}
+    extra: dict[str, float] = {}
+    pcs: list[int] = []
+    outcomes: list[bool] = []
+    saw_magic = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if not saw_magic:
+            _parse_magic(label, line_no, line, _TEXT_MAGIC)
+            saw_magic = True
+            continue
+        if line.startswith("#!"):
+            if pcs:
+                raise _fail(label, line_no, "metadata directive after branch records")
+            _parse_directive(label, line_no, line, scalars, extra)
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        parts = line.split()
+        if len(parts) != 2:
+            raise _fail(label, line_no, f"expected '<pc> <0|1>', got {raw!r}")
+        pc, taken = _parse_record(label, line_no, parts[0], parts[1])
+        pcs.append(pc)
+        outcomes.append(taken)
+    if not saw_magic:
+        raise InterchangeError(f"{label}: empty document (no {_TEXT_MAGIC} magic line)")
+    return _build_trace(label, scalars, extra, pcs, outcomes)
+
+
+def parse_csv(text: str, label: str = "<csv>") -> Trace:
+    """Parse the BFT CSV dialect; malformed input is a hard error."""
+    scalars: dict[str, str] = {}
+    extra: dict[str, float] = {}
+    pcs: list[int] = []
+    outcomes: list[bool] = []
+    saw_magic = False
+    saw_header = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if not saw_magic:
+            _parse_magic(label, line_no, line, _CSV_MAGIC)
+            saw_magic = True
+            continue
+        if line.startswith("#!"):
+            if saw_header:
+                raise _fail(label, line_no, "metadata directive after the header row")
+            _parse_directive(label, line_no, line, scalars, extra)
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        if not saw_header:
+            if line != _CSV_HEADER:
+                raise _fail(
+                    label, line_no,
+                    f"expected header row {_CSV_HEADER!r}, got {raw!r}",
+                )
+            saw_header = True
+            continue
+        parts = line.split(",")
+        if len(parts) != 2:
+            raise _fail(label, line_no, f"expected '<pc>,<0|1>', got {raw!r}")
+        pc, taken = _parse_record(label, line_no, parts[0].strip(), parts[1].strip())
+        pcs.append(pc)
+        outcomes.append(taken)
+    if not saw_magic:
+        raise InterchangeError(f"{label}: empty document (no {_CSV_MAGIC} magic line)")
+    if not saw_header:
+        raise InterchangeError(f"{label}: missing {_CSV_HEADER!r} header row")
+    return _build_trace(label, scalars, extra, pcs, outcomes)
+
+
+def read_any(path: str | Path) -> Trace:
+    """Read a trace in whichever format ``path`` holds, sniffed by content.
+
+    Binary BFBP is recognized by its magic bytes, the text dialects by
+    their magic lines; anything else is a hard :class:`InterchangeError`.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if data[:4] == b"BFBP":
+        return trace_from_bytes(data, label=str(path))
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise InterchangeError(
+            f"{path}: neither BFBP binary nor UTF-8 interchange text ({exc})"
+        ) from None
+    head = text.lstrip().split("\n", 1)[0].strip()
+    if head.startswith(_CSV_MAGIC):
+        return parse_csv(text, label=str(path))
+    if head.startswith(_TEXT_MAGIC):
+        return parse_text(text, label=str(path))
+    raise InterchangeError(
+        f"{path}: unrecognized trace format (expected BFBP magic bytes, "
+        f"{_TEXT_MAGIC!r} or {_CSV_MAGIC!r} magic line)"
+    )
+
+
+def write_any(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` in the format implied by ``path``'s extension.
+
+    ``.bfbp`` → binary, ``.csv`` → CSV dialect, ``.bft``/``.txt`` →
+    text dialect; other extensions are a hard error rather than a guess.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".bfbp":
+        write_trace(trace, path)
+    elif suffix == ".csv":
+        path.write_text(format_csv(trace), encoding="utf-8")
+    elif suffix in (".bft", ".txt"):
+        path.write_text(format_text(trace), encoding="utf-8")
+    else:
+        raise InterchangeError(
+            f"{path}: unsupported output extension {suffix!r} "
+            "(expected .bfbp, .csv, .bft or .txt)"
+        )
+
+
+def convert(source: str | Path, dest: str | Path) -> Trace:
+    """Convert a trace file between interchange and BFBP formats.
+
+    Reads ``source`` (format sniffed by content), writes ``dest``
+    (format chosen by extension), and returns the trace so callers can
+    report its summary and content fingerprint.
+    """
+    trace = read_any(source)
+    write_any(trace, dest)
+    return trace

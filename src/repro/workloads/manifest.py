@@ -1,0 +1,435 @@
+"""Declarative workload suite manifests (TOML or JSON).
+
+A *suite manifest* names a set of traces — synthetic profiles, custom
+generator instantiations, imported trace files, multi-program mixes —
+so a whole evaluation scenario travels as one small, versioned,
+content-addressed document instead of a shell script full of flags::
+
+    [suite]
+    name = "demo"
+    version = 1
+
+    [[entry]]
+    kind = "synthetic"
+    name = "FP1"
+    branches = 2000
+
+    [[entry]]
+    kind = "generator"
+    name = "STORM"
+    family = "wild"
+    seed = 7
+    branches = 1500
+    params = { noise = 70, phase = 10 }
+
+    [[entry]]
+    kind = "file"
+    name = "IMPORTED"
+    path = "imported_fp1.csv"
+    fingerprint = "3f2a..."      # pin: resolution fails on drift
+
+    [[entry]]
+    kind = "mix"
+    name = "MIX1"
+    components = ["FP1", "IMPORTED"]
+    branches = 2500
+
+The entry vocabulary is *closed*: ``MANIFEST_TYPES`` declares the
+required keys per kind, ``_OPTIONAL_KEYS`` the only other keys allowed,
+and anything else is a hard :class:`ManifestError` — the same contract
+the telemetry schema and wire protocol keep, and statically enforced by
+the same REPRO3xx pass (REPRO305/306).
+
+``fingerprint`` pins an entry to an exact trace content fingerprint
+(:func:`repro.orchestration.fingerprint.trace_content_fingerprint`).
+Resolution re-derives the trace and fails loudly when a generator, an
+imported file or a mix schedule drifts, printing the newly observed
+fingerprint so an *intentional* change is a one-line re-pin.
+
+:func:`SuiteManifest.fingerprint` digests the manifest itself, so a
+campaign pinned to ``manifest:<digest>#<entry>`` is content-addressed:
+pin every ``file`` entry and the digest covers the full suite content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tomllib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.trace.records import Trace
+from repro.workloads.interchange import InterchangeError, read_any
+from repro.workloads.mix import DEFAULT_CHUNK, compose_mix
+from repro.workloads.registry import generator_families, is_workload, resolve_workload
+
+#: Manifest document version accepted by this parser.
+MANIFEST_VERSION = 1
+
+#: Closed entry vocabulary: kind -> required keys.  Mirrors
+#: ``EVENT_FIELDS``/``MESSAGE_TYPES`` so the REPRO305/306 static pass
+#: can cross-check entry literals against it.
+MANIFEST_TYPES: dict[str, tuple[str, ...]] = {
+    "synthetic": ("kind", "name"),
+    "generator": ("kind", "name", "family", "seed"),
+    "file": ("kind", "name", "path"),
+    "mix": ("kind", "name", "components"),
+}
+
+#: The only keys allowed beyond the required ones, per kind.
+_OPTIONAL_KEYS: dict[str, tuple[str, ...]] = {
+    "synthetic": ("branches", "fingerprint"),
+    "generator": ("branches", "params", "fingerprint"),
+    "file": ("branches", "fingerprint"),
+    "mix": ("branches", "chunk", "seed", "fingerprint"),
+}
+
+_SUITE_KEYS = ("name", "version")
+
+
+class ManifestError(ValueError):
+    """A suite manifest is malformed or resolves to drifted content."""
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One declared trace in a suite manifest."""
+
+    kind: str
+    name: str
+    branches: int | None = None
+    fingerprint: str | None = None
+    family: str | None = None
+    seed: int = 0
+    params: dict[str, float] = field(default_factory=dict)
+    path: str | None = None
+    components: tuple[str, ...] = ()
+    chunk: int = DEFAULT_CHUNK
+
+
+@dataclass(frozen=True)
+class SuiteManifest:
+    """A parsed suite manifest: named, versioned, content-addressable."""
+
+    name: str
+    version: int
+    entries: tuple[SuiteEntry, ...]
+    base_dir: Path | None = None
+
+    def entry_names(self) -> list[str]:
+        """Entry names in declaration order."""
+        return [entry.name for entry in self.entries]
+
+    def entry(self, name: str) -> SuiteEntry:
+        """Look one entry up by name (hard error on unknown names)."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise ManifestError(
+            f"suite {self.name!r} has no entry {name!r}; "
+            f"entries: {', '.join(self.entry_names())}"
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the manifest's canonical content.
+
+        Covers the suite header and every entry field (including
+        fingerprint pins), not the source file's formatting — the same
+        manifest in TOML and JSON digests identically.
+        """
+        canon = {
+            "suite_name": self.name,
+            "suite_version": self.version,
+            "entries": [asdict(entry) for entry in self.entries],
+        }
+        return hashlib.sha256(
+            json.dumps(canon, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+
+def _require(condition: bool, label: str, message: str) -> None:
+    if not condition:
+        raise ManifestError(f"{label}: {message}")
+
+
+def _int_field(label: str, entry_name: str, key: str, value: object) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ManifestError(
+            f"{label}: entry {entry_name!r} key {key!r} must be an integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _parse_entry(label: str, index: int, raw: object) -> SuiteEntry:
+    where = f"{label}: entry #{index + 1}"
+    if not isinstance(raw, dict):
+        raise ManifestError(f"{where} must be a table, got {type(raw).__name__}")
+    kind = raw.get("kind")
+    if not isinstance(kind, str) or kind not in MANIFEST_TYPES:
+        raise ManifestError(
+            f"{where}: unknown entry kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(MANIFEST_TYPES))}"
+        )
+    required = MANIFEST_TYPES[kind]
+    allowed = set(required) | set(_OPTIONAL_KEYS[kind])
+    unknown = sorted(set(raw) - allowed)
+    if unknown:
+        raise ManifestError(
+            f"{where} ({kind}): unknown key(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+    missing = sorted(set(required) - set(raw))
+    if missing:
+        raise ManifestError(
+            f"{where} ({kind}): missing required key(s) {', '.join(missing)}"
+        )
+
+    name = raw["name"]
+    _require(
+        isinstance(name, str) and bool(name),
+        where, f"entry name must be a non-empty string, got {name!r}",
+    )
+
+    branches = raw.get("branches")
+    if branches is not None:
+        branches = _int_field(label, name, "branches", branches)
+        _require(branches > 0, where, f"branches must be positive, got {branches}")
+    fingerprint = raw.get("fingerprint")
+    if fingerprint is not None:
+        _require(
+            isinstance(fingerprint, str) and bool(fingerprint),
+            where, f"fingerprint pin must be a non-empty string, got {fingerprint!r}",
+        )
+
+    family = raw.get("family")
+    seed = _int_field(label, name, "seed", raw.get("seed", 0))
+    params: dict[str, float] = {}
+    path = raw.get("path")
+    components: tuple[str, ...] = ()
+    chunk = _int_field(label, name, "chunk", raw.get("chunk", DEFAULT_CHUNK))
+
+    if kind == "generator":
+        known = sorted(generator_families())
+        _require(
+            isinstance(family, str) and family in known,
+            where,
+            f"unknown generator family {family!r}; known families: "
+            f"{', '.join(known)}",
+        )
+        raw_params = raw.get("params", {})
+        if not isinstance(raw_params, dict):
+            raise ManifestError(
+                f"{where}: params must be a table, got {type(raw_params).__name__}"
+            )
+        for key, value in raw_params.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ManifestError(
+                    f"{where}: params.{key} must be a number, got {value!r}"
+                )
+            params[str(key)] = value
+    elif kind == "file":
+        _require(
+            isinstance(path, str) and bool(path),
+            where, f"path must be a non-empty string, got {path!r}",
+        )
+    elif kind == "mix":
+        raw_components = raw.get("components")
+        valid = isinstance(raw_components, list) and bool(raw_components) and all(
+            isinstance(item, str) for item in raw_components
+        )
+        _require(
+            valid, where,
+            f"components must be a non-empty list of entry names, "
+            f"got {raw_components!r}",
+        )
+        _require(chunk > 1, where, f"chunk must exceed 1, got {chunk}")
+        components = tuple(raw_components)
+
+    return SuiteEntry(
+        kind=kind,
+        name=name,
+        branches=branches,
+        fingerprint=fingerprint,
+        family=family if kind == "generator" else None,
+        seed=seed,
+        params=params,
+        path=path if kind == "file" else None,
+        components=components,
+        chunk=chunk,
+    )
+
+
+def parse_manifest(
+    text: str, label: str = "<manifest>", base_dir: str | Path | None = None
+) -> SuiteManifest:
+    """Parse a TOML or JSON suite manifest; malformed input is a hard error.
+
+    JSON is recognized by a leading ``{``; everything else parses as
+    TOML.  ``base_dir`` anchors relative ``file`` entry paths (defaults
+    to the manifest's own directory under :func:`load_manifest`).
+    """
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("{"):
+            document = json.loads(text)
+        else:
+            document = tomllib.loads(text)
+    except (json.JSONDecodeError, tomllib.TOMLDecodeError) as exc:
+        raise ManifestError(f"{label}: unparseable manifest ({exc})") from None
+    if not isinstance(document, dict):
+        raise ManifestError(f"{label}: manifest root must be a table/object")
+
+    unknown = sorted(set(document) - {"suite", "entry"})
+    if unknown:
+        raise ManifestError(
+            f"{label}: unknown top-level key(s) {', '.join(unknown)}; "
+            "expected [suite] and [[entry]]"
+        )
+    suite = document.get("suite")
+    if not isinstance(suite, dict):
+        raise ManifestError(f"{label}: missing [suite] table")
+    unknown = sorted(set(suite) - set(_SUITE_KEYS))
+    if unknown:
+        raise ManifestError(
+            f"{label}: unknown [suite] key(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(_SUITE_KEYS)}"
+        )
+    suite_name = suite.get("name")
+    _require(
+        isinstance(suite_name, str) and bool(suite_name),
+        label, f"[suite] name must be a non-empty string, got {suite_name!r}",
+    )
+    version = suite.get("version")
+    if version != MANIFEST_VERSION:
+        raise ManifestError(
+            f"{label}: unsupported manifest version {version!r} "
+            f"(this parser understands version {MANIFEST_VERSION})"
+        )
+
+    raw_entries = document.get("entry")
+    if not isinstance(raw_entries, list) or not raw_entries:
+        raise ManifestError(f"{label}: manifest declares no [[entry]] tables")
+
+    entries: list[SuiteEntry] = []
+    seen: set[str] = set()
+    for index, raw in enumerate(raw_entries):
+        entry = _parse_entry(label, index, raw)
+        if entry.name in seen:
+            raise ManifestError(
+                f"{label}: duplicate entry name {entry.name!r}"
+            )
+        if entry.kind == "mix":
+            for component in entry.components:
+                if component not in seen:
+                    raise ManifestError(
+                        f"{label}: mix {entry.name!r} references "
+                        f"{component!r}, which is not declared *earlier* "
+                        "in the manifest"
+                    )
+        seen.add(entry.name)
+        entries.append(entry)
+
+    return SuiteManifest(
+        name=suite_name,
+        version=version,
+        entries=tuple(entries),
+        base_dir=Path(base_dir) if base_dir is not None else None,
+    )
+
+
+def load_manifest(path: str | Path) -> SuiteManifest:
+    """Load a suite manifest from ``path`` (TOML or JSON)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ManifestError(f"{path}: cannot read manifest ({exc})") from None
+    return parse_manifest(text, label=str(path), base_dir=path.parent)
+
+
+def _check_pin(entry: SuiteEntry, trace: Trace, label: str) -> Trace:
+    if entry.fingerprint is None:
+        return trace
+    from repro.orchestration.fingerprint import trace_content_fingerprint
+
+    actual = trace_content_fingerprint(trace)
+    if actual != entry.fingerprint:
+        raise ManifestError(
+            f"{label}: entry {entry.name!r} resolved to fingerprint "
+            f"{actual}, but the manifest pins {entry.fingerprint} — the "
+            "generator, imported file or mix schedule drifted.  If the "
+            "change is intentional, update the pin to the new fingerprint "
+            "above; otherwise the declared workload no longer exists."
+        )
+    return trace
+
+
+def resolve_entry(
+    manifest: SuiteManifest,
+    name: str,
+    _cache: dict[str, Trace] | None = None,
+) -> Trace:
+    """Resolve one manifest entry to a :class:`Trace`, checking its pin."""
+    cache = _cache if _cache is not None else {}
+    if name in cache:
+        return cache[name]
+    entry = manifest.entry(name)
+    label = f"suite {manifest.name!r}"
+
+    if entry.kind == "synthetic":
+        if not is_workload(entry.name):
+            raise ManifestError(
+                f"{label}: synthetic entry {entry.name!r} is not a "
+                "registered workload name"
+            )
+        trace = resolve_workload(entry.name, entry.branches)
+    elif entry.kind == "generator":
+        builder = generator_families()[entry.family]
+        try:
+            trace = builder(
+                entry.name, entry.seed, branches=entry.branches, **entry.params
+            )
+        except (TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"{label}: generator entry {entry.name!r} "
+                f"({entry.family}) rejected its params: {exc}"
+            ) from None
+    elif entry.kind == "file":
+        file_path = Path(entry.path)
+        if not file_path.is_absolute() and manifest.base_dir is not None:
+            file_path = manifest.base_dir / file_path
+        try:
+            trace = read_any(file_path)
+        except (OSError, InterchangeError, ValueError) as exc:
+            raise ManifestError(
+                f"{label}: file entry {entry.name!r} failed to load: {exc}"
+            ) from None
+        if entry.branches is not None:
+            trace = trace.truncated(entry.branches)
+    else:  # mix — parse_manifest closed the kind vocabulary already
+        parts = [
+            resolve_entry(manifest, component, _cache=cache)
+            for component in entry.components
+        ]
+        trace = compose_mix(
+            entry.name,
+            parts,
+            branches=entry.branches,
+            chunk=entry.chunk,
+            seed=entry.seed,
+        )
+
+    trace = _check_pin(entry, trace, label)
+    cache[name] = trace
+    return trace
+
+
+def resolve_suite(manifest: SuiteManifest) -> dict[str, Trace]:
+    """Resolve every entry, in declaration order, to its trace."""
+    cache: dict[str, Trace] = {}
+    return {
+        entry.name: resolve_entry(manifest, entry.name, _cache=cache)
+        for entry in manifest.entries
+    }

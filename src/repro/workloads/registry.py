@@ -1,0 +1,99 @@
+"""One registry resolving workload names to :class:`Trace` objects.
+
+Everything that turns a *name* into a trace — ``TraceSpec.suite``
+recipes on scheduler workers and remote executors, the CLI's trace
+arguments, the serving warm pool, the loadgen profiles, suite-manifest
+``synthetic`` entries — goes through :func:`resolve_workload`, so a new
+generator family registers once and is immediately reachable from every
+layer.
+
+Three families ship built in:
+
+* the calibrated 40-trace suite (``SPEC00``–``SERV5``),
+* the adversarial wild set (``WILD1``–``WILD4``),
+* the sparse long-range-correlation set (``SPARSE1``–``SPARSE4``).
+
+:func:`generator_families` additionally exposes the *parameterized*
+generator constructors (``wild``, ``sparse``) that suite manifests
+instantiate with their own names, seeds and branch budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.trace.records import Trace
+
+#: family label -> (name predicate, builder(name, branches) -> Trace).
+#: Ordered: the first family claiming a name resolves it.
+_FAMILIES: list[tuple[str, Callable[[str], bool], Callable[[str, int | None], Trace]]]
+_FAMILIES = []
+
+#: Custom generator constructors for manifest ``generator`` entries:
+#: family name -> fn(name, seed, branches, **params) -> Trace.
+_GENERATORS: dict[str, Callable[..., Trace]] = {}
+
+
+def register_family(
+    label: str,
+    claims: Callable[[str], bool],
+    builder: Callable[[str, int | None], Trace],
+) -> None:
+    """Register a named-workload family (idempotent per label)."""
+    global _FAMILIES
+    _FAMILIES = [entry for entry in _FAMILIES if entry[0] != label]
+    _FAMILIES.append((label, claims, builder))
+
+
+def register_generator(family: str, builder: Callable[..., Trace]) -> None:
+    """Register a parameterized generator family for suite manifests."""
+    _GENERATORS[family] = builder
+
+
+def _install_builtins() -> None:
+    from repro.workloads import sparse, suite, wild
+
+    register_family(
+        "suite", lambda name: name in suite.SUITE_NAMES, suite.build_trace
+    )
+    register_family(
+        "wild", lambda name: name in wild.WILD_NAMES, wild.build_wild_trace
+    )
+    register_family(
+        "sparse",
+        lambda name: name in sparse.SPARSE_NAMES,
+        sparse.build_sparse_trace,
+    )
+    register_generator("wild", wild.build_custom_wild_trace)
+    register_generator("sparse", sparse.build_custom_sparse_trace)
+
+
+def is_workload(name: str) -> bool:
+    """True when ``name`` resolves through the registry."""
+    return any(claims(name) for _, claims, _ in _FAMILIES)
+
+
+def workload_names() -> list[str]:
+    """Every registered named workload, family by family."""
+    from repro.workloads import sparse, suite, wild
+
+    return [*suite.SUITE_NAMES, *wild.WILD_NAMES, *sparse.SPARSE_NAMES]
+
+
+def resolve_workload(name: str, branches: int | None = None) -> Trace:
+    """Build the named trace, whichever family claims the name."""
+    for _, claims, builder in _FAMILIES:
+        if claims(name):
+            return builder(name, branches)
+    raise ValueError(
+        f"unknown workload {name!r}; known names: the 40-trace suite, "
+        f"WILD1–WILD4, SPARSE1–SPARSE4"
+    )
+
+
+def generator_families() -> dict[str, Callable[..., Trace]]:
+    """The registered parameterized generator constructors."""
+    return dict(_GENERATORS)
+
+
+_install_builtins()

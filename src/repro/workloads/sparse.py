@@ -1,0 +1,161 @@
+"""Sparse long-range-correlation workloads (Zouzias et al., PAPERS.md).
+
+The sparse-correlation study observes that for many hard branches only a
+*few* history bits carry information, and those bits can sit hundreds to
+thousands of branches back — far beyond conventional history windows,
+and buried under uninformative non-biased context.  These traces
+concentrate that structure: one informative leader per correlation
+scene, separated from its followers by a long, mostly-biased gulf, with
+a working set of uninformative coin-flip branches polluting both the
+raw and the filtered history in between.
+
+Bias filtering compresses the gulf (the filler is mostly biased) and a
+recency stack compresses it further (the non-biased filler re-executes
+a handful of static branches), so the family is exactly the regime the
+bias-free predictors are built for — and a stress test for everything
+with a fixed history window.
+
+Like the calibrated suite and the wild set, every named trace is a pure
+function of its name.  :func:`custom_sparse_program` is the generator
+family behind manifest entries (``kind = "generator"``, ``family =
+"sparse"``): suites declare new scenarios by seed, branch budget and
+correlation distance.
+"""
+
+from __future__ import annotations
+
+from repro.trace.records import Trace
+from repro.workloads.cfg import (
+    BiasedRun,
+    DistantCorrelation,
+    NoisyBranch,
+    Program,
+    Scene,
+)
+from repro.workloads.suite import _PcSpace, _seed_of
+
+SPARSE_NAMES = ("SPARSE1", "SPARSE2", "SPARSE3", "SPARSE4")
+
+#: Sparse traces need the leader→follower gulf to repeat many times for
+#: any predictor to converge, so they default a little longer than wild.
+DEFAULT_SPARSE_BRANCHES = 24_000
+
+#: Per-name raw leader→follower distance.  The ladder doubles so the
+#: four traces bracket everything from "a long conventional history
+#: could reach it" to "only filtered + compressed history can".
+_SPARSE_DISTANCE = {
+    "SPARSE1": 250,
+    "SPARSE2": 500,
+    "SPARSE3": 1000,
+    "SPARSE4": 2000,
+}
+
+
+def _sparse_scenes(
+    name: str,
+    seed: int,
+    distance: int,
+    noise: float,
+    informative: int,
+) -> list[tuple[Scene, float]]:
+    if distance < 16:
+        raise ValueError(f"distance must be at least 16 branches, got {distance}")
+    if not 0.0 <= noise < 0.5:
+        raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+    if informative <= 0:
+        raise ValueError(f"informative must be positive, got {informative}")
+    pcs = _PcSpace(seed)
+    scenes: list[tuple[Scene, float]] = []
+
+    # The informative correlations: each leader's outcome is the only
+    # signal predicting its followers, `distance` branches later.  The
+    # gulf is ~94% biased filler, so the *filtered* distance collapses
+    # to the non-biased filler instances and the RS-compressed distance
+    # to the handful of distinct filler pcs.
+    nonbiased_slots = max(2, min(6, distance // 64))
+    repeats = max(2, (distance // 16) // nonbiased_slots)
+    biased = distance - repeats * nonbiased_slots
+    for index in range(informative):
+        base = pcs.block()
+        scenes.append(
+            (
+                DistantCorrelation(
+                    leader_pc=base,
+                    flag=f"{name}-sparse{index}",
+                    biased_filler=biased,
+                    nonbiased_filler_pcs=[
+                        base + 0x800 + 4 * i for i in range(nonbiased_slots)
+                    ],
+                    filler_repeats=repeats,
+                    follower_pcs=[base + 0xC00 + 4 * i for i in range(2)],
+                    noise=noise,
+                    pre_pad=40,
+                    pre_filler_pcs=[base + 0x1000 + 4 * i for i in range(4)],
+                ),
+                30.0 / informative,
+            )
+        )
+
+    # Uninformative non-biased context: coin-flip branches that enter
+    # the filtered history and the recency stack but predict nothing —
+    # the "sparse" in sparse correlation.  Kept individually light so
+    # they spread across the history rather than clustering.
+    decoys = 8
+    for i in range(decoys):
+        scenes.append((NoisyBranch(pcs.block(), 0.42 + 0.02 * (i % 9)), 12 / decoys))
+
+    # Biased padding: inflates raw distance (the conventional-history
+    # killer) without touching filtered history.
+    for _ in range(6):
+        scenes.append((BiasedRun(pcs.block(), 24), 58 / 6))
+
+    return scenes
+
+
+def custom_sparse_program(
+    name: str,
+    seed: int,
+    distance: int = 500,
+    noise: float = 0.02,
+    informative: int = 2,
+) -> Program:
+    """A sparse-correlation program with caller-chosen parameters.
+
+    ``distance`` is the raw leader→follower distance in branches,
+    ``noise`` the follower flip probability bounding the attainable
+    accuracy, ``informative`` how many independent leader/follower
+    correlation scenes the trace carries.
+    """
+    return Program(
+        name=name,
+        category="SPARSE",
+        scenes=_sparse_scenes(name, seed, distance, noise, informative),
+        seed=seed,
+    )
+
+
+def build_sparse_program(name: str) -> Program:
+    """Build the deterministic program behind one named sparse trace."""
+    if name not in _SPARSE_DISTANCE:
+        raise ValueError(
+            f"unknown sparse trace {name!r}; expected one of {SPARSE_NAMES}"
+        )
+    return custom_sparse_program(
+        name, _seed_of(name), distance=_SPARSE_DISTANCE[name]
+    )
+
+
+def build_sparse_trace(name: str, branches: int | None = None) -> Trace:
+    """Generate one named sparse long-range-correlation trace."""
+    if branches is None:
+        branches = DEFAULT_SPARSE_BRANCHES
+    return build_sparse_program(name).generate(branches)
+
+
+def build_custom_sparse_trace(
+    name: str, seed: int, branches: int | None = None, **params
+) -> Trace:
+    """Generate one custom sparse trace (see :func:`custom_sparse_program`)."""
+    if branches is None:
+        branches = DEFAULT_SPARSE_BRANCHES
+    return custom_sparse_program(name, seed, **params).generate(branches)

@@ -48,8 +48,10 @@ _WILD_MIX: dict[str, tuple[int, int, int, int]] = {
 }
 
 
-def _wild_scenes(name: str, seed: int) -> list[tuple[Scene, float]]:
-    noise_w, phase_w, corr_w, loop_w = _WILD_MIX[name]
+def _wild_scenes(
+    name: str, seed: int, mix: tuple[int, int, int, int]
+) -> list[tuple[Scene, float]]:
+    noise_w, phase_w, corr_w, loop_w = mix
     pcs = _PcSpace(seed)
     scenes: list[tuple[Scene, float]] = []
 
@@ -115,7 +117,8 @@ def build_wild_program(name: str) -> Program:
         raise ValueError(f"unknown wild trace {name!r}; expected one of {WILD_NAMES}")
     seed = _seed_of(name)
     return Program(
-        name=name, category="WILD", scenes=_wild_scenes(name, seed), seed=seed
+        name=name, category="WILD", scenes=_wild_scenes(name, seed, _WILD_MIX[name]),
+        seed=seed,
     )
 
 
@@ -124,3 +127,46 @@ def build_wild_trace(name: str, branches: int | None = None) -> Trace:
     if branches is None:
         branches = DEFAULT_WILD_BRANCHES
     return build_wild_program(name).generate(branches)
+
+
+def custom_wild_program(
+    name: str,
+    seed: int,
+    noise: int = 25,
+    phase: int = 25,
+    correlation: int = 25,
+    loops: int = 25,
+) -> Program:
+    """A wild program with a caller-chosen storm mix.
+
+    This is the *generator family* behind manifest entries of
+    ``kind = "generator"``, ``family = "wild"``: suites can declare new
+    adversarial traces by (seed, branch budget, storm weights) instead
+    of being limited to the four canned WILD mixes.  The four weights
+    are stream shares for the Bernoulli / phase-flip / murky-correlation
+    / loop-chaos populations.
+    """
+    for label, weight in (
+        ("noise", noise), ("phase", phase),
+        ("correlation", correlation), ("loops", loops),
+    ):
+        if weight < 0:
+            raise ValueError(f"{label} weight must be non-negative, got {weight}")
+    if noise + phase + correlation + loops <= 0:
+        raise ValueError("at least one wild storm weight must be positive")
+    mix = (noise, phase, correlation, loops)
+    # Zero weights are clamped to a trace amount rather than dropped so
+    # the scene list keeps one shape per family (weights must be > 0).
+    mix = tuple(max(1, weight) for weight in mix)
+    return Program(
+        name=name, category="WILD", scenes=_wild_scenes(name, seed, mix), seed=seed
+    )
+
+
+def build_custom_wild_trace(
+    name: str, seed: int, branches: int | None = None, **weights: int
+) -> Trace:
+    """Generate one custom wild trace (see :func:`custom_wild_program`)."""
+    if branches is None:
+        branches = DEFAULT_WILD_BRANCHES
+    return custom_wild_program(name, seed, **weights).generate(branches)

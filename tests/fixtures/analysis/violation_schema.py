@@ -1,8 +1,9 @@
-"""Fixture: telemetry/protocol schema drift (REPRO3xx).
+"""Fixture: telemetry/protocol/manifest schema drift (REPRO3xx).
 
-Declares its own miniature ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` so the
-pass is self-contained, and defines ``send_message`` so it counts as a
-protocol module.
+Declares its own miniature ``EVENT_FIELDS`` / ``MESSAGE_TYPES`` /
+``MANIFEST_TYPES`` so the pass is self-contained, and defines
+``send_message`` / ``parse_manifest`` so it counts as both a protocol
+module and a manifest module.
 """
 
 EVENT_FIELDS = {
@@ -13,6 +14,11 @@ EVENT_FIELDS = {
 MESSAGE_TYPES = {
     "hello": ("executor", "protocol"),
     "ok": (),
+}
+
+MANIFEST_TYPES = {
+    "synthetic": ("kind", "name"),
+    "mix": ("kind", "name", "components"),
 }
 
 
@@ -50,3 +56,23 @@ def greet_incomplete(sock):
 
 def merge_ok(sock, extra):
     send_message(sock, {"type": "hello", **extra})  # clean: splat-merged
+
+
+def parse_manifest(text):
+    return text  # marker: this fixture counts as a manifest module
+
+
+def entry_ok():
+    return {"kind": "synthetic", "name": "FP1"}  # clean
+
+
+def entry_unknown():
+    return {"kind": "teleport", "name": "X"}  # REPRO305
+
+
+def entry_incomplete():
+    return {"kind": "mix", "name": "M"}  # REPRO306: misses components
+
+
+def entry_merged(defaults):
+    return {"kind": "mix", **defaults}  # clean: splat-merged

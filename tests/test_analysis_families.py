@@ -184,11 +184,37 @@ class TestSchemaDrift:
             ("emit_incomplete", "REPRO302"),
             ("hijack", "REPRO303"),
             ("greet_incomplete", "REPRO304"),
+            ("entry_unknown", "REPRO305"),
+            ("entry_incomplete", "REPRO306"),
         }
 
     def test_negatives_are_clean(self):
         symbols = {f.symbol for f in lint_paths([SCHEMA], families=["schema"])}
-        assert not symbols & {"emit_known", "emit_forwarded", "greet", "merge_ok"}
+        assert not symbols & {
+            "emit_known", "emit_forwarded", "greet", "merge_ok",
+            "entry_ok", "entry_merged",
+        }
+
+    def test_manifest_entry_drift_against_real_declaration(self):
+        # The acceptance scenario for REPRO305/306: code in a manifest
+        # module builds an entry dict the real MANIFEST_TYPES never
+        # declared (or misses a required key of a declared kind).
+        manifest = SRC / "repro" / "workloads" / "manifest.py"
+        sources = collect_sources([manifest])
+        rogue = (
+            "from repro.workloads.manifest import parse_manifest\n"
+            "def forge():\n"
+            "    bad = {'kind': 'hologram', 'name': 'H'}\n"
+            "    sparse = {'kind': 'generator', 'name': 'G'}\n"
+            "    return bad, sparse\n"
+        )
+        findings = lint_sources(
+            sources + collect_sources_from_text(rogue, "rogue.py"),
+            families=["schema"],
+        )
+        assert [f.rule for f in findings] == ["REPRO305", "REPRO306"]
+        assert "hologram" in findings[0].message
+        assert "family" in findings[1].message
 
     def test_injected_unregistered_event_is_caught(self):
         # The acceptance scenario: code emits an event kind that was

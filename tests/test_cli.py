@@ -48,6 +48,36 @@ class TestLoadTrace:
         with pytest.raises(SystemExit):
             _load_trace("NOSUCH9", None)
 
+    def test_interchange_file(self, tmp_path):
+        from repro.workloads import build_trace, format_csv
+
+        trace = build_trace("MM1", 400)
+        path = tmp_path / "mm1.csv"
+        path.write_text(format_csv(trace), encoding="utf-8")
+        loaded = _load_trace(str(path), None)
+        assert loaded.pcs == trace.pcs
+
+    def test_manifest_entry_ref(self, tmp_path):
+        manifest = tmp_path / "s.toml"
+        manifest.write_text(
+            '[suite]\nname = "s"\nversion = 1\n'
+            '[[entry]]\nkind = "synthetic"\nname = "FP1"\nbranches = 600\n',
+            encoding="utf-8",
+        )
+        loaded = _load_trace(f"@{manifest}#FP1", None)
+        assert loaded.name == "FP1"
+        assert len(loaded) >= 600
+
+    def test_manifest_error_becomes_system_exit(self, tmp_path):
+        manifest = tmp_path / "s.toml"
+        manifest.write_text(
+            '[suite]\nname = "s"\nversion = 1\n'
+            '[[entry]]\nkind = "synthetic"\nname = "FP1"\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit):
+            _load_trace(f"@{manifest}#GHOST", None)
+
 
 class TestSubcommands:
     def test_suite_lists_names(self, capsys):
@@ -86,3 +116,46 @@ class TestSubcommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestConvertCommand:
+    def test_round_trip_through_cli(self, tmp_path, capsys):
+        from repro.trace.io import write_trace
+        from repro.workloads import build_trace
+
+        trace = build_trace("FP1", 500)
+        source = tmp_path / "fp1.bfbp"
+        write_trace(trace, source)
+        assert main(["convert", str(source), str(tmp_path / "fp1.bft")]) == 0
+        assert main(["convert", str(tmp_path / "fp1.bft"),
+                     str(tmp_path / "back.bfbp")]) == 0
+        assert (tmp_path / "back.bfbp").read_bytes() == source.read_bytes()
+        out = capsys.readouterr().out
+        assert "branches" in out and "fingerprint" in out
+
+    def test_malformed_input_exits(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("pc,taken\n1,0\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["convert", str(bad), str(tmp_path / "out.bfbp")])
+
+
+class TestSuiteManifestCommand:
+    def test_describes_manifest(self, capsys):
+        from pathlib import Path
+
+        demo = Path(__file__).resolve().parent.parent / "examples/suites/demo.toml"
+        assert main(["suite", "--manifest", str(demo)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "DEMO_MIX" in out and "mix" in out
+
+    def test_simulate_accepts_manifest_ref(self, capsys):
+        from pathlib import Path
+
+        demo = Path(__file__).resolve().parent.parent / "examples/suites/demo.toml"
+        code = main(
+            ["simulate", f"@{demo}#DEMO_MIX", "--predictors", "gshare"]
+        )
+        assert code == 0
+        assert "gshare" in capsys.readouterr().out

@@ -1,10 +1,16 @@
-"""Round-trip tests for the BFBP binary trace format."""
+"""Round-trip and corruption tests for the BFBP binary trace format."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.io import (
+    TraceFormatError,
+    read_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+    write_trace,
+)
 from repro.trace.records import Trace, TraceMetadata
 
 
@@ -60,6 +66,86 @@ class TestRoundTrip:
             back = roundtrip(trace, Path(tmp))
         assert back.pcs == trace.pcs
         assert back.outcomes == trace.outcomes
+
+
+_events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**32 - 1), st.booleans()),
+    max_size=200,
+)
+
+
+def _trace_of(events):
+    meta = TraceMetadata(
+        name="P", category="SPEC", instruction_count=max(1, 5 * len(events)), seed=3
+    )
+    return Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+
+
+class TestByteIdentity:
+    """write → read → write is byte-identical, and read is record-identical."""
+
+    @given(_events)
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_write_is_byte_identical(self, events):
+        trace = _trace_of(events)
+        data = trace_to_bytes(trace)
+        back = trace_from_bytes(data)
+        assert trace_to_bytes(back) == data
+        assert back.pcs == trace.pcs
+        assert back.outcomes == trace.outcomes
+        assert back.metadata == trace.metadata
+
+    @given(_events, st.dictionaries(st.text(min_size=1, max_size=8),
+                                    st.floats(allow_nan=False, allow_infinity=False),
+                                    max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_metadata_extras_survive(self, events, extra):
+        meta = TraceMetadata(
+            name="Q", category="MM", instruction_count=7, seed=1, extra=extra
+        )
+        trace = Trace(meta, [pc for pc, _ in events], [t for _, t in events])
+        back = trace_from_bytes(trace_to_bytes(trace))
+        assert back.metadata.extra == extra
+
+
+class TestCorruptionFuzz:
+    """Any corrupted byte is a hard TraceFormatError, never a wrong read."""
+
+    @given(_events, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_corruption_always_raises(self, events, data):
+        original = trace_to_bytes(_trace_of(events))
+        index = data.draw(st.integers(min_value=0, max_value=len(original) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        corrupt = bytearray(original)
+        corrupt[index] ^= flip
+        with pytest.raises(TraceFormatError) as excinfo:
+            trace_from_bytes(bytes(corrupt))
+        # The found version is propagated: None only for a broken magic,
+        # the (corrupted) byte itself for a version flip, 2 otherwise.
+        if index < 4:
+            assert excinfo.value.version is None
+        elif index == 4:
+            assert excinfo.value.version == corrupt[4]
+        else:
+            assert excinfo.value.version == 2
+
+    @given(_events, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_always_raises(self, events, data):
+        original = trace_to_bytes(_trace_of(events))
+        cut = data.draw(st.integers(min_value=0, max_value=len(original) - 1))
+        with pytest.raises(TraceFormatError):
+            trace_from_bytes(original[:cut])
+
+    def test_v1_files_are_refused_not_misread(self):
+        # A version-1 file (no checksum trailer) must be rejected with
+        # its version in the error — not parsed by guesswork.
+        original = bytearray(trace_to_bytes(_trace_of([(16, True), (20, False)])))
+        original[4] = 1
+        with pytest.raises(TraceFormatError, match="version 1") as excinfo:
+            trace_from_bytes(bytes(original))
+        assert excinfo.value.version == 1
 
 
 class TestFormatErrors:

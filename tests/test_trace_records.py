@@ -90,3 +90,59 @@ class TestTruncated:
         short = trace.truncated(3)
         assert short.name == "K"
         assert short.metadata.category == "MM"
+
+
+class TestTruncatedArraysCoherence:
+    """truncated() and the cached arrays() views must stay consistent."""
+
+    def test_truncate_before_arrays(self):
+        trace = make_trace(10)
+        short = trace.truncated(4)
+        pcs, outcomes = short.arrays()
+        assert pcs.tolist() == short.pcs
+        assert [bool(o) for o in outcomes] == short.outcomes
+
+    def test_truncate_after_arrays_reslices_cache(self):
+        import numpy as np
+
+        trace = make_trace(10)
+        full_pcs, full_outcomes = trace.arrays()
+        short = trace.truncated(4)
+        short_pcs, short_outcomes = short.arrays()
+        assert short_pcs.tolist() == short.pcs
+        assert [bool(o) for o in short_outcomes] == short.outcomes
+        assert short_pcs.dtype == np.uint64
+        assert short_outcomes.dtype == np.uint8
+        # The parent's cache is untouched and still full length.
+        assert len(full_pcs) == 10
+        assert trace.arrays()[0] is full_pcs
+
+    def test_truncated_views_are_independent_copies(self):
+        trace = make_trace(10)
+        trace.arrays()
+        short = trace.truncated(4)
+        short.arrays()[0][0] = 0xDEAD
+        # Mutating the prefix's view must not leak into the parent.
+        assert trace.arrays()[0][0] == trace.pcs[0]
+
+    def test_lists_and_views_agree_either_order(self):
+        for warm_first in (False, True):
+            trace = make_trace(12)
+            if warm_first:
+                trace.arrays()
+            short = trace.truncated(5)
+            assert len(short) == 5
+            pcs, outcomes = short.arrays()
+            assert pcs.tolist() == short.pcs == trace.pcs[:5]
+            assert [bool(o) for o in outcomes] == short.outcomes
+
+    def test_static_branches_and_instructions_stay_coherent(self):
+        trace = make_trace(10, instructions=100)
+        trace.arrays()
+        short = trace.truncated(4)
+        assert short.static_branches() == set(trace.pcs[:4])
+        assert short.instruction_count == 40
+        # And the no-op path leaves the original cache identity intact.
+        same = trace.truncated(10)
+        assert same is trace
+        assert same.arrays() is trace.arrays()

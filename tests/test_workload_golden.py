@@ -1,0 +1,92 @@
+"""Golden-fingerprint regression pins for every named workload.
+
+Every trace in the calibrated 40-trace suite, the adversarial wild set
+and the sparse long-range set is a *pure function of its name* — that
+determinism is what lets `TraceSpec.suite` recipes travel to workers,
+lets the serving pool and loadgen regenerate identical streams on both
+ends of a socket, and lets suite manifests pin entries by content
+fingerprint.  This module pins the content fingerprint and metadata of
+each named trace (at a fixed small budget) so *any* generator drift —
+an edited scene, a reweighted mix, an RNG change — fails loudly here
+instead of silently invalidating caches and manifests everywhere.
+
+If a change to the generators is intentional, regenerate the pins:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_workload_golden.py -q
+
+and commit the updated ``tests/fixtures/golden_fingerprints.json``
+alongside the generator change (call out the drift in the PR: every
+downstream fingerprint pin — campaign caches, suite manifests — breaks
+with it).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.orchestration.fingerprint import trace_content_fingerprint
+from repro.workloads import build_trace, workload_names
+
+GOLDEN_PATH = Path(__file__).parent / "fixtures" / "golden_fingerprints.json"
+
+#: Budget the pins are computed at: small enough to keep the full
+#: 48-trace sweep cheap, large enough to exercise every scene type.
+GOLDEN_BRANCHES = 2000
+
+pytestmark = pytest.mark.workloads
+
+
+def _observe(name: str) -> dict:
+    trace = build_trace(name, GOLDEN_BRANCHES)
+    return {
+        "fingerprint": trace_content_fingerprint(trace),
+        "branches": len(trace),
+        "category": trace.metadata.category,
+        "instruction_count": trace.metadata.instruction_count,
+        "seed": trace.metadata.seed,
+    }
+
+
+def _regenerate() -> dict:
+    golden = {name: _observe(name) for name in workload_names()}
+    GOLDEN_PATH.write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return golden
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        return _regenerate()
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} is missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_every_workload_is_pinned(golden):
+    assert sorted(golden) == sorted(workload_names()), (
+        "the golden file and the workload registry disagree about which "
+        "named traces exist; regenerate with REPRO_REGEN_GOLDEN=1 and "
+        "review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(set(json.loads(
+    GOLDEN_PATH.read_text(encoding="utf-8")) if GOLDEN_PATH.exists() else {})))
+def test_workload_matches_golden(golden, name):
+    observed = _observe(name)
+    expected = golden[name]
+    assert observed == expected, (
+        f"generator drift for {name!r}:\n"
+        f"  expected {expected}\n"
+        f"  observed {observed}\n"
+        "Every content fingerprint pinned downstream (campaign caches, "
+        "suite manifests) breaks with this. If the change is intentional, "
+        "regenerate the pins with REPRO_REGEN_GOLDEN=1 and commit the "
+        "updated golden_fingerprints.json."
+    )
