@@ -4,11 +4,11 @@
 set -x
 cd /root/repo
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
-# Static analysis first: all five rule families (hardware
+# Static analysis first: all six rule families (hardware
 # faithfulness, determinism taint, lock discipline, schema drift,
-# hot-path perf) plus the storage-budget audit. A violation, a stale
-# baseline entry or a blown budget should stop the campaign before
-# hours of simulation, not after.
+# hot-path perf, whole-program concurrency) plus the storage-budget
+# audit. A violation, a stale baseline entry or a blown budget should
+# stop the campaign before hours of simulation, not after.
 python3 -m repro.analysis src/ --json > results/analysis.json || {
     echo STATIC_ANALYSIS_FAILED
     exit 1
@@ -22,6 +22,13 @@ python3 -m repro.analysis src/ --no-audit --fail-on-stale \
 # allocation-free (or carry a justified pragma/baseline entry).
 python3 -m repro.analysis src/ --family perf --no-audit --fail-on-stale || {
     echo HOT_PATH_PERF_LINT_FAILED
+    exit 1
+}
+# Dedicated concurrency gate: no lock-order cycles, no blocking work
+# or callbacks inside critical sections, and every protocol send
+# sequence admitted by the declared PROTOCOL_FSMS machines.
+python3 -m repro.analysis src/ --family concurrency --no-audit --fail-on-stale || {
+    echo CONCURRENCY_LINT_FAILED
     exit 1
 }
 python3 -m repro.experiments.table1_storage --output results/table1.txt > /dev/null 2>&1

@@ -3,7 +3,7 @@
 Exit codes: 0 clean, 1 new lint findings, 2 storage-audit failure.
 
 The driver runs every rule family by default (``hw``, ``det``, ``race``,
-``schema``, ``perf``); ``--family`` restricts the run.  ``--format json``
+``schema``, ``perf``, ``concurrency``); ``--family`` restricts the run.  ``--format json``
 emits one finding per line with a stable key order so downstream tools
 can diff or stream the output; ``--format sarif`` emits a SARIF 2.1.0
 log (baselined findings become suppressed results) for code-scanning

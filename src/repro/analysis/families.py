@@ -1,16 +1,20 @@
 """Rule-family registry and the combined lint entry points.
 
-The analyzer grew from one pass into five *families*, selectable via
+The analyzer grew from one pass into six *families*, selectable via
 ``repro-lint --family``:
 
-=======  =========  =================================================
-hw       REPRO0xx   hardware-faithfulness rules (:mod:`.rules`)
-det      REPRO1xx   determinism taint pass (:mod:`.determinism`)
-race     REPRO2xx   lock-discipline race detector (:mod:`.races`)
-schema   REPRO3xx   telemetry/protocol schema drift (:mod:`.schema`)
-perf     REPRO4xx   hot-path cost rules over the interprocedural
-                    call closure (:mod:`.perf`, :mod:`.callgraph`)
-=======  =========  =================================================
+===========  =========  =============================================
+hw           REPRO0xx   hardware-faithfulness rules (:mod:`.rules`)
+det          REPRO1xx   determinism taint pass (:mod:`.determinism`)
+race         REPRO2xx   lock-discipline race detector (:mod:`.races`)
+schema       REPRO3xx   telemetry/protocol schema drift
+                        (:mod:`.schema`)
+perf         REPRO4xx   hot-path cost rules over the interprocedural
+                        call closure (:mod:`.perf`, :mod:`.callgraph`)
+concurrency  REPRO5xx   whole-program lock-order/deadlock, blocking-
+                        under-lock and protocol-FSM conformance
+                        (:mod:`.concurrency`)
+===========  =========  =============================================
 
 Every family consumes the same parsed :class:`~repro.analysis.rules.
 ModuleSource` list and produces :class:`~repro.analysis.findings.
@@ -21,7 +25,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import determinism, perf, races, rules, schema
+from repro.analysis import concurrency, determinism, perf, races, rules, schema
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ModuleSource, collect_sources, module_name_for
 from repro.analysis.findings import canonical_file
@@ -33,6 +37,7 @@ FAMILIES = {
     "race": (races.check_sources, races.RULES),
     "schema": (schema.check_sources, schema.RULES),
     "perf": (perf.check_sources, perf.RULES),
+    "concurrency": (concurrency.check_sources, concurrency.RULES),
 }
 
 #: Every rule id across all families -> short title.
@@ -51,7 +56,14 @@ def family_of(rule: str) -> str:
         hundreds = int(rule.removeprefix("REPRO")) // 100
     except ValueError:
         return "hw"
-    return {0: "hw", 1: "det", 2: "race", 3: "schema", 4: "perf"}.get(hundreds, "hw")
+    return {
+        0: "hw",
+        1: "det",
+        2: "race",
+        3: "schema",
+        4: "perf",
+        5: "concurrency",
+    }.get(hundreds, "hw")
 
 
 def _resolve(families: tuple[str, ...] | list[str] | None) -> tuple[str, ...]:

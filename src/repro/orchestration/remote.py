@@ -94,6 +94,87 @@ MESSAGE_TYPES: dict[str, tuple[str, ...]] = {
     "session_summary": ("session", "events", "mispredictions", "state_hash"),
 }
 
+#: Declared session state machines, one per conversation the protocol
+#: carries: ``{fsm: {state: {message_type: next_state}}}``.  Only the
+#: *initiating* message types appear in a machine's alphabet — replies
+#: (``welcome``, ``lease``, ``ok``, ...) are paired to their requests
+#: and carry no ordering of their own.  The table is shared by two
+#: enforcement layers: the REPRO506 static check extracts the literal
+#: send sequences from every protocol module and simulates them against
+#: these machines, and :class:`SessionFsm` applies the same transitions
+#: at runtime inside the serving/coordinator connection handlers (and
+#: through :func:`validate_message` for tooling).  Keep the literal
+#: parseable — nested string-keyed dicts only.
+PROTOCOL_FSMS: dict[str, dict[str, dict[str, str]]] = {
+    # serving: serve_hello -> session_open -> events* -> session_close
+    # (sessions may interleave on one connection) -> serve_bye
+    "serving": {
+        "start": {"serve_hello": "greeted"},
+        "greeted": {"session_open": "open", "serve_bye": "end"},
+        "open": {
+            "session_open": "open",
+            "events": "open",
+            "session_close": "greeted",
+            "serve_bye": "end",
+        },
+        "end": {},
+    },
+    # campaign: hello -> (claim | renew | result)* -> bye
+    "campaign": {
+        "start": {"hello": "joined"},
+        "joined": {
+            "claim": "joined",
+            "renew": "joined",
+            "result": "joined",
+            "bye": "end",
+        },
+        "end": {},
+    },
+}
+
+
+class SessionFsm:
+    """Runtime instance of one :data:`PROTOCOL_FSMS` machine.
+
+    Connection handlers advance it as messages are handled, so the
+    order a peer may send things in is enforced by the same declaration
+    the REPRO506 static check reads.  Message types outside the
+    machine's alphabet (replies, ``chunk`` frames) are ignored.
+    """
+
+    def __init__(self, name: str) -> None:
+        if name not in PROTOCOL_FSMS:
+            raise KeyError(f"unknown protocol FSM {name!r}")
+        self.name = name
+        self.machine = PROTOCOL_FSMS[name]
+        self.state = "start"
+        self.alphabet = frozenset(
+            message
+            for transitions in self.machine.values()
+            for message in transitions
+        )
+
+    def allows(self, kind: str) -> bool:
+        """Whether ``kind`` may be sent from the current state."""
+        if kind not in self.alphabet:
+            return True
+        return kind in self.machine.get(self.state, {})
+
+    def advance(self, kind: str) -> None:
+        """Apply one handled message; raise on an out-of-order send."""
+        if kind not in self.alphabet:
+            return
+        transitions = self.machine.get(self.state, {})
+        if kind not in transitions:
+            expected = ", ".join(sorted(transitions)) or "nothing"
+            raise ProtocolError(
+                f"protocol message {kind!r} out of order for FSM "
+                f"{self.name!r} in state {self.state!r} (expected "
+                f"{expected})"
+            )
+        self.state = transitions[kind]
+
+
 #: Upper bound on one frame; anything larger is a corrupt length prefix.
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
 
@@ -112,13 +193,15 @@ class ProtocolError(RuntimeError):
     """Malformed frame, unknown message, or protocol version mismatch."""
 
 
-def validate_message(message: dict) -> None:
+def validate_message(message: dict, fsm: SessionFsm | None = None) -> None:
     """Raise :class:`ProtocolError` if ``message`` is outside protocol v1.
 
     Not wired into :func:`send_message`/:func:`recv_message` — the
     coordinator answers unknown kinds with an ``error`` reply so version
     skew degrades gracefully — but exposed for tests and tooling that
-    construct frames dynamically.
+    construct frames dynamically.  With ``fsm``, the message is also
+    checked against (and advances) the declared session state machine,
+    so a well-formed message sent out of order raises too.
     """
     kind = message.get("type")
     if kind not in MESSAGE_TYPES:
@@ -126,6 +209,8 @@ def validate_message(message: dict) -> None:
     missing = [name for name in MESSAGE_TYPES[kind] if name not in message]
     if missing:
         raise ProtocolError(f"message {kind!r} missing required fields {missing}")
+    if fsm is not None:
+        fsm.advance(kind)
 
 
 class VersionSkewError(ProtocolError):

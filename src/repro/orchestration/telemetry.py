@@ -183,10 +183,12 @@ class Telemetry:
             self._file = path.open("a", encoding="utf-8")
         self._subscribers = list(subscribers)
         # The distributed coordinator emits from one thread per executor
-        # connection; serialize counter updates and JSONL writes.  The
-        # lock is reentrant because subscribers run under it and may
-        # read the rate helpers (which also take it).
-        self._lock = threading.RLock()
+        # connection.  Counters and the subscriber list are serialized
+        # behind `_lock` (non-reentrant: subscribers run *outside* it);
+        # the JSONL handle gets its own `_io_lock` so the file write —
+        # the only blocking operation — never stalls counter readers.
+        self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
         self.done = 0
         self.failed = 0
         self.cache_hits = 0
@@ -210,11 +212,21 @@ class Telemetry:
                 self.cache_hits += 1
             elif kind == "task_failed" and fields.get("final"):
                 self.failed += 1
+            subscribers = tuple(self._subscribers)
+        # File I/O under its own lock (concurrent emits stay ordered,
+        # and close() cannot pull the handle mid-write).  The JSONL
+        # append is this sink's job, so the REPRO502 here is baselined:
+        # _io_lock covers only the handle, and only concurrent emitters
+        # (never counter readers) queue behind the write.
+        with self._io_lock:
             if self._file is not None:
                 self._file.write(json.dumps(event) + "\n")
                 self._file.flush()
-            for subscriber in self._subscribers:
-                subscriber(event)
+        # ... and user callbacks outside every lock: a slow or
+        # re-entrant subscriber (the engine's progress printer calls
+        # the rate helpers) must not hold up other emitters.
+        for subscriber in subscribers:
+            subscriber(event)
         return event
 
     def elapsed_s(self) -> float:
@@ -227,13 +239,16 @@ class Telemetry:
             return self.done / elapsed if elapsed > 0 else 0.0
 
     def eta_s(self, total: int) -> float:
+        # Rate computed inline: `_lock` is non-reentrant, so calling
+        # tasks_per_s() from under it would self-deadlock (REPRO504).
         with self._lock:
-            rate = self.tasks_per_s()
+            elapsed = self._clock.monotonic() - self._started
+            rate = self.done / elapsed if elapsed > 0 else 0.0
             remaining = max(0, total - self.done - self.failed)
             return remaining / rate if rate > 0 else float("inf")
 
     def close(self) -> None:
-        with self._lock:
+        with self._io_lock:
             if self._file is not None:
                 self._file.close()
                 self._file = None

@@ -87,9 +87,12 @@ class WarmSnapshotPool:
 
     Thread-safe: serving handles sessions from one thread per
     connection, and all shard-map state is guarded by ``self._lock``.
-    Hydration (including the one-off warmup simulation on a cold store)
-    runs under the lock, serializing concurrent first-touch of the same
-    shard so the warmup prefix is simulated at most once per process.
+    Hydration (StateStore I/O and the one-off warmup simulation on a
+    cold store) runs *outside* the lock — a slow first-touch must not
+    stall sessions hitting already-resident shards.  Concurrent
+    first-touch of the same shard is serialized by a per-key in-flight
+    event instead, so the warmup prefix is still simulated at most once
+    per process, and hydration is deterministic either way.
     """
 
     def __init__(
@@ -113,6 +116,8 @@ class WarmSnapshotPool:
         self._store = StateStore(state_dir) if state_dir else None
         self._lock = threading.Lock()
         self._shards: OrderedDict[ShardKey, Shard] = OrderedDict()
+        #: Keys being hydrated right now -> event set when they land.
+        self._inflight: dict[ShardKey, threading.Event] = {}
         self._evictions = 0
         self._hydrations = 0
 
@@ -137,25 +142,47 @@ class WarmSnapshotPool:
                 f"available: {', '.join(sorted(self.registry))}"
             )
         key = ShardKey(config, workload, warmup or self.warmup_branches)
-        with self._lock:
-            shard = self._shards.get(key)
-            if shard is not None:
-                shard.hits += 1
-                self._shards.move_to_end(key)
-                return shard
+        while True:
+            with self._lock:
+                shard = self._shards.get(key)
+                if shard is not None:
+                    shard.hits += 1
+                    self._shards.move_to_end(key)
+                    return shard
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            # Another thread is hydrating this key: wait for it to land
+            # (outside the lock — resident-shard hits keep flowing),
+            # then re-check the map.
+            waiter.wait()
+        evicted: list[ShardKey] = []
+        try:
+            # Hydration — StateStore I/O or the warmup simulation — runs
+            # with no lock held; it is deterministic, so whichever
+            # thread computes a shard produces the identical state.
             shard = self._hydrate(key, branches if branches is not None else self.branches)
-            self._shards[key] = shard
-            self._hydrations += 1
-            while len(self._shards) > self.max_shards:
-                evicted_key, _ = self._shards.popitem(last=False)
-                self._evictions += 1
-                self.telemetry.emit(
-                    "pool_evict", shard=evicted_key.label(), reason="pool budget"
-                )
-            return shard
+            with self._lock:
+                self._shards[key] = shard
+                self._hydrations += 1
+                while len(self._shards) > self.max_shards:
+                    evicted_key, _ = self._shards.popitem(last=False)
+                    self._evictions += 1
+                    evicted.append(evicted_key)
+        finally:
+            with self._lock:
+                event = self._inflight.pop(key, None)
+            if event is not None:
+                event.set()
+        for evicted_key in evicted:
+            self.telemetry.emit(
+                "pool_evict", shard=evicted_key.label(), reason="pool budget"
+            )
+        return shard
 
     def _hydrate(self, key: ShardKey, branches: int | None) -> Shard:
-        """Load-or-compute one shard's warm checkpoint (lock held)."""
+        """Load-or-compute one shard's warm checkpoint (no lock held)."""
         spec = TraceSpec.suite(key.workload, branches)
         try:
             trace = spec.resolve()

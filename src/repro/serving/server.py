@@ -37,6 +37,7 @@ from repro.orchestration.registry import standard_registry
 from repro.orchestration.remote import (
     PROTOCOL_VERSION,
     ProtocolError,
+    SessionFsm,
     recv_message,
     send_message,
     token_matches,
@@ -204,28 +205,46 @@ class PredictionServer:
     def _serve_client(self, sock: socket.socket) -> None:
         sessions: dict[str, _Session] = {}
         client = "?"
-        greeted = False
+        # The declared serving machine (remote.PROTOCOL_FSMS) replaces
+        # the old `greeted` boolean: handlers advance it per handled
+        # message, so ordering is enforced by the same declaration the
+        # REPRO506 static check reads.  The machine models one session
+        # lifecycle; a connection multiplexing several sessions is
+        # pinned back to "open" while any remain.
+        fsm = SessionFsm("serving")
         try:
             while not self._stop.is_set():
                 message = recv_message(sock)
                 kind = message.get("type")
                 if kind == "serve_hello":
-                    reply = self._on_hello(message)
-                    if reply["type"] == "serve_welcome":
-                        greeted = True
-                        client = str(message.get("client"))
+                    if not fsm.allows("serve_hello"):
+                        reply = {"type": "error", "error": "duplicate serve_hello"}
                     else:
-                        send_message(sock, reply)
-                        return
-                elif not greeted:
+                        reply = self._on_hello(message)
+                        if reply["type"] == "serve_welcome":
+                            fsm.advance("serve_hello")
+                            client = str(message.get("client"))
+                        else:
+                            send_message(sock, reply)
+                            return
+                elif fsm.state == "start":
                     reply = {"type": "error", "error": "say serve_hello first"}
                 elif kind == "session_open":
                     reply = self._open_session(message, sessions, client)
+                    if reply["type"] == "session":
+                        fsm.advance("session_open")
                 elif kind == "events":
                     reply = self._on_events(message, sessions)
+                    if reply["type"] == "predictions":
+                        fsm.advance("events")
                 elif kind == "session_close":
                     reply = self._close_session(message, sessions)
+                    if reply["type"] == "session_summary":
+                        fsm.advance("session_close")
+                        if sessions:
+                            fsm.state = "open"
                 elif kind == "serve_bye":
+                    fsm.advance("serve_bye")
                     send_message(sock, {"type": "ok"})
                     return
                 else:

@@ -43,8 +43,11 @@ from repro.orchestration.distserver import Coordinator
 from repro.orchestration.engine import build_tasks
 from repro.orchestration.manifest import MANIFEST_VERSION
 from repro.orchestration.remote import (
+    MESSAGE_TYPES,
+    PROTOCOL_FSMS,
     PROTOCOL_VERSION,
     ProtocolError,
+    SessionFsm,
     VersionSkewError,
     connect,
     decode_task,
@@ -52,6 +55,7 @@ from repro.orchestration.remote import (
     recv_message,
     run_executor,
     send_message,
+    validate_message,
 )
 from repro.predictors import Bimodal, GShare
 from repro.sim import simulate
@@ -198,6 +202,84 @@ class TestProtocol:
         wire["config"] = "ghost"
         with pytest.raises(VersionSkewError, match="registry"):
             decode_task(wire, toy_registry())
+
+    def test_fsm_machines_use_registered_message_types(self):
+        # Every message in an FSM alphabet must be a declared protocol
+        # message, and every transition must land on a declared state.
+        for machine in PROTOCOL_FSMS.values():
+            for transitions in machine.values():
+                for kind, target in transitions.items():
+                    assert kind in MESSAGE_TYPES
+                    assert target in machine
+
+    def test_session_fsm_walks_campaign_machine(self):
+        fsm = SessionFsm("campaign")
+        for kind in ("hello", "claim", "renew", "result", "claim", "bye"):
+            fsm.advance(kind)
+        assert fsm.state == "end"
+
+    def test_session_fsm_rejects_out_of_order(self):
+        fsm = SessionFsm("campaign")
+        with pytest.raises(ProtocolError, match="expected hello"):
+            fsm.advance("claim")
+        assert fsm.state == "start"
+
+    def test_replies_outside_the_alphabet_are_ignored(self):
+        fsm = SessionFsm("campaign")
+        assert fsm.allows("welcome")
+        fsm.advance("welcome")  # replies carry no ordering of their own
+        assert fsm.state == "start"
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError, match="unknown protocol FSM"):
+            SessionFsm("nope")
+
+    def test_validate_message_advances_fsm(self):
+        fsm = SessionFsm("campaign")
+        hello = {"type": "hello", "executor": "x", "protocol": PROTOCOL_VERSION}
+        validate_message(hello, fsm)
+        assert fsm.state == "joined"
+        with pytest.raises(ProtocolError, match="out of order"):
+            validate_message(hello, fsm)
+
+    def test_claim_before_hello_refused(self, tmp_path):
+        # The coordinator's connection handler runs the declared
+        # campaign machine: nothing but hello is admitted from start.
+        coordinator = Coordinator(
+            dist_plan(tmp_path / "dist", configs=("bimodal",)),
+            registry_ref=REGISTRY_REF,
+        )
+        coordinator._listener.close()
+        import socket
+        import threading
+
+        server_end, client_end = socket.socketpair()
+        handler = threading.Thread(
+            target=coordinator._serve_client, args=(server_end,), daemon=True
+        )
+        handler.start()
+        try:
+            send_message(client_end, {"type": "claim", "executor": "eager"})
+            reply = recv_message(client_end)
+            assert reply["type"] == "error"
+            assert "hello first" in reply["error"]
+            send_message(
+                client_end,
+                {
+                    "type": "hello",
+                    "executor": "eager",
+                    "pid": 0,
+                    "host": "h",
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
+            assert recv_message(client_end)["type"] == "welcome"
+            send_message(client_end, {"type": "bye", "executor": "eager"})
+            assert recv_message(client_end)["type"] == "ok"
+        finally:
+            client_end.close()
+            handler.join(timeout=10)
+        assert not handler.is_alive()
 
     def test_inline_trace_not_distributable(self):
         from repro.trace.records import Trace, TraceMetadata

@@ -39,6 +39,7 @@ from repro.orchestration.distserver import Coordinator
 from repro.orchestration.registry import standard_registry, trace_spec_for
 from repro.orchestration.remote import (
     MESSAGE_TYPES,
+    PROTOCOL_VERSION,
     AuthError,
     ProtocolError,
     recv_message,
@@ -380,6 +381,40 @@ class TestWarmSnapshotPool:
         assert pool.lookup("SERV1", shard.pc_hi + 1) == []
         assert pool.lookup("FP1", shard.pc_lo) == []
 
+    def test_concurrent_cold_acquire_hydrates_once(self):
+        # First-touch hydration runs outside the pool lock; the per-key
+        # in-flight event must still collapse a stampede of cold
+        # acquires into ONE warmup simulation, and the resulting state
+        # must be bit-identical to an uncontended sequential acquire.
+        sequential = WarmSnapshotPool(
+            toy_registry(), warmup_branches=200, branches=600
+        )
+        expected = sequential.acquire("bimodal", "FP1").state_hash()
+
+        pool = WarmSnapshotPool(toy_registry(), warmup_branches=200, branches=600)
+        results = [None] * 8
+        errors = []
+        barrier = threading.Barrier(len(results))
+
+        def grab(i):
+            try:
+                barrier.wait()
+                results[i] = pool.acquire("bimodal", "FP1")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=grab, args=(i,)) for i in range(len(results))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert all(shard is results[0] for shard in results)
+        assert results[0].state_hash() == expected
+        assert pool.stats()["hydrations"] == 1
+
 
 # --------------------------------------------------------------------------
 # auth handshake (serving + campaign coordinator)
@@ -517,6 +552,54 @@ class TestServerFailures:
             if process.poll() is None:
                 process.kill()
             process.wait(timeout=10)
+
+
+# --------------------------------------------------------------------------
+# protocol state machine at runtime
+# --------------------------------------------------------------------------
+
+
+class TestServingFsm:
+    def hello(self):
+        return {
+            "type": "serve_hello",
+            "client": "fsm-test",
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    def test_duplicate_serve_hello_refused(self, server_factory):
+        server = server_factory(registry=toy_registry())
+        sock = socket.create_connection(server.address)
+        try:
+            send_message(sock, self.hello())
+            assert recv_message(sock)["type"] == "serve_welcome"
+            send_message(sock, self.hello())
+            reply = recv_message(sock)
+            assert reply["type"] == "error"
+            assert "duplicate serve_hello" in reply["error"]
+            # The connection survives and is still in the greeted state.
+            send_message(sock, {"type": "session_open", "client": "fsm-test",
+                                "config": "bimodal", "workload": "FP1"})
+            assert recv_message(sock)["type"] == "session"
+        finally:
+            sock.close()
+
+    def test_interleaved_sessions_survive_one_close(self, server_factory):
+        # The serving machine models one session lifecycle; a
+        # connection multiplexing two sessions must stay "open" while
+        # either remains, so events on the survivor still flow.
+        server = server_factory(registry=toy_registry())
+        trace = build_trace("FP1", 60)
+        with PredictClient(server.address) as client:
+            first = client.open_session("bimodal", "FP1")["session"]
+            second = client.open_session("gshare", "FP1")["session"]
+            client.close_session(first)
+            predictions, _ = client.send_events(
+                second, trace.pcs[:20], trace.outcomes[:20]
+            )
+            assert len(predictions) == 20
+            summary = client.close_session(second)
+            assert summary["events"] == 20
 
 
 # --------------------------------------------------------------------------
